@@ -1,0 +1,411 @@
+// Benchmarks regenerating the paper's evaluation, one per figure
+// (Figures 5–16), plus microbenchmarks of the substrates and ablations of
+// the design choices called out in DESIGN.md §5.
+//
+// Figure benchmarks run the small-scale campaign configuration and report
+// the simulated metrics as custom benchmark outputs (vwall-s, vio-s,
+// vcomm-s, E); real time measures the simulator's own cost. Use
+// cmd/slbench for the full default- or paper-scale tables.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/integrate"
+	"repro/internal/metrics"
+	"repro/internal/pathline"
+	"repro/internal/seeds"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/vec"
+)
+
+// benchFigure runs one (dataset, seeding, metric) cell of the evaluation
+// for every algorithm at the middle processor count of the small scale.
+func benchFigure(b *testing.B, ds experiments.Dataset, seeding experiments.Seeding, metric string) {
+	sc := experiments.SmallScale()
+	procs := sc.ProcCounts[len(sc.ProcCounts)/2]
+	prob, err := experiments.BuildProblem(ds, seeding, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range core.Algorithms() {
+		b.Run(string(alg), func(b *testing.B) {
+			cfg := experiments.MachineConfig(alg, procs, sc)
+			var last *core.Result
+			var failErr error
+			for i := 0; i < b.N; i++ {
+				last, failErr = core.Run(prob, cfg)
+			}
+			if failErr != nil {
+				// Expected for Figure 13 dense/static: report the OOM as
+				// a metric rather than failing the bench.
+				b.ReportMetric(1, "oom")
+				return
+			}
+			s := last.Summary
+			switch metric {
+			case "wall":
+				b.ReportMetric(s.WallClock, "vwall-s")
+			case "io":
+				b.ReportMetric(s.TotalIO, "vio-s")
+			case "comm":
+				b.ReportMetric(s.TotalComm, "vcomm-s")
+			case "efficiency":
+				b.ReportMetric(s.BlockEfficiency, "E")
+			}
+			b.ReportMetric(float64(s.Steps)/float64(b.N), "steps/run")
+		})
+	}
+}
+
+// --- Figures 5-8: astrophysics ---
+
+func BenchmarkFigure05AstroWallClock(b *testing.B) {
+	for _, s := range experiments.Seedings() {
+		b.Run(string(s), func(b *testing.B) { benchFigure(b, experiments.Astro, s, "wall") })
+	}
+}
+
+func BenchmarkFigure06AstroIO(b *testing.B) {
+	for _, s := range experiments.Seedings() {
+		b.Run(string(s), func(b *testing.B) { benchFigure(b, experiments.Astro, s, "io") })
+	}
+}
+
+func BenchmarkFigure07AstroBlockEfficiency(b *testing.B) {
+	for _, s := range experiments.Seedings() {
+		b.Run(string(s), func(b *testing.B) { benchFigure(b, experiments.Astro, s, "efficiency") })
+	}
+}
+
+func BenchmarkFigure08AstroComm(b *testing.B) {
+	for _, s := range experiments.Seedings() {
+		b.Run(string(s), func(b *testing.B) { benchFigure(b, experiments.Astro, s, "comm") })
+	}
+}
+
+// --- Figures 9-12: fusion ---
+
+func BenchmarkFigure09FusionWallClock(b *testing.B) {
+	for _, s := range experiments.Seedings() {
+		b.Run(string(s), func(b *testing.B) { benchFigure(b, experiments.Fusion, s, "wall") })
+	}
+}
+
+func BenchmarkFigure10FusionIO(b *testing.B) {
+	for _, s := range experiments.Seedings() {
+		b.Run(string(s), func(b *testing.B) { benchFigure(b, experiments.Fusion, s, "io") })
+	}
+}
+
+func BenchmarkFigure11FusionComm(b *testing.B) {
+	for _, s := range experiments.Seedings() {
+		b.Run(string(s), func(b *testing.B) { benchFigure(b, experiments.Fusion, s, "comm") })
+	}
+}
+
+func BenchmarkFigure12FusionBlockEfficiency(b *testing.B) {
+	for _, s := range experiments.Seedings() {
+		b.Run(string(s), func(b *testing.B) { benchFigure(b, experiments.Fusion, s, "efficiency") })
+	}
+}
+
+// --- Figures 13-16: thermal hydraulics ---
+
+func BenchmarkFigure13ThermalWallClock(b *testing.B) {
+	for _, s := range experiments.Seedings() {
+		b.Run(string(s), func(b *testing.B) { benchFigure(b, experiments.Thermal, s, "wall") })
+	}
+}
+
+func BenchmarkFigure14ThermalIO(b *testing.B) {
+	for _, s := range experiments.Seedings() {
+		b.Run(string(s), func(b *testing.B) { benchFigure(b, experiments.Thermal, s, "io") })
+	}
+}
+
+func BenchmarkFigure15ThermalComm(b *testing.B) {
+	for _, s := range experiments.Seedings() {
+		b.Run(string(s), func(b *testing.B) { benchFigure(b, experiments.Thermal, s, "comm") })
+	}
+}
+
+func BenchmarkFigure16ThermalBlockEfficiency(b *testing.B) {
+	for _, s := range experiments.Seedings() {
+		b.Run(string(s), func(b *testing.B) { benchFigure(b, experiments.Thermal, s, "efficiency") })
+	}
+}
+
+// --- ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationHybridParams sweeps the hybrid tuning constants around
+// the paper's published values (N=10, NO=200, NL=40, W=32).
+func BenchmarkAblationHybridParams(b *testing.B) {
+	sc := experiments.SmallScale()
+	prob, err := experiments.BuildProblem(experiments.Astro, experiments.Sparse, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		hp   core.HybridParams
+	}{
+		{"paper_N10_NO200_NL40", core.HybridParams{N: 10, NO: 200, NL: 40, W: 8}},
+		{"N2", core.HybridParams{N: 2, NO: 40, NL: 40, W: 8}},
+		{"N50", core.HybridParams{N: 50, NO: 1000, NL: 40, W: 8}},
+		{"NL5", core.HybridParams{N: 10, NO: 200, NL: 5, W: 8}},
+		{"NL1000", core.HybridParams{N: 10, NO: 200, NL: 1000, W: 8}},
+		{"W4", core.HybridParams{N: 10, NO: 200, NL: 40, W: 4}},
+		{"W30", core.HybridParams{N: 10, NO: 200, NL: 40, W: 30}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := experiments.MachineConfig(core.HybridMS, 16, sc)
+			cfg.Hybrid = tc.hp
+			var s metrics.Summary
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(prob, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = res.Summary
+			}
+			b.ReportMetric(s.WallClock, "vwall-s")
+			b.ReportMetric(s.TotalComm, "vcomm-s")
+			b.ReportMetric(s.BlockEfficiency, "E")
+		})
+	}
+}
+
+// BenchmarkAblationCacheSize sweeps the Load-On-Demand LRU capacity on
+// the fusion dataset (the working-set effect of Section 5.2).
+func BenchmarkAblationCacheSize(b *testing.B) {
+	sc := experiments.SmallScale()
+	prob, err := experiments.BuildProblem(experiments.Fusion, experiments.Dense, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cache := range []int{4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("blocks%d", cache), func(b *testing.B) {
+			cfg := experiments.MachineConfig(core.LoadOnDemand, 16, sc)
+			cfg.CacheBlocks = cache
+			cfg.MemoryBudget = 0
+			var s metrics.Summary
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(prob, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = res.Summary
+			}
+			b.ReportMetric(s.TotalIO, "vio-s")
+			b.ReportMetric(s.BlockEfficiency, "E")
+		})
+	}
+}
+
+// BenchmarkAblationLightweightComm compares full-geometry streamline
+// communication against the paper's §8 solver-state-only proposal.
+func BenchmarkAblationLightweightComm(b *testing.B) {
+	sc := experiments.SmallScale()
+	prob, err := experiments.BuildProblem(experiments.Astro, experiments.Dense, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name       string
+		noGeometry bool
+	}{{"geometry", false}, {"state-only", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := experiments.MachineConfig(core.StaticAlloc, 16, sc)
+			cfg.NoGeometry = tc.noGeometry
+			var s metrics.Summary
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(prob, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = res.Summary
+			}
+			b.ReportMetric(s.TotalComm, "vcomm-s")
+			b.ReportMetric(float64(s.BytesSent)/1e6, "vMB-sent")
+		})
+	}
+}
+
+// BenchmarkAblationSharedDisk compares independent per-processor disks
+// against a contended parallel filesystem.
+func BenchmarkAblationSharedDisk(b *testing.B) {
+	sc := experiments.SmallScale()
+	prob, err := experiments.BuildProblem(experiments.Astro, experiments.Sparse, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, servers := range []int{0, 2, 8, 32} {
+		name := "independent"
+		if servers > 0 {
+			name = fmt.Sprintf("servers%d", servers)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := experiments.MachineConfig(core.LoadOnDemand, 32, sc)
+			cfg.DiskServers = servers
+			var s metrics.Summary
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(prob, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = res.Summary
+			}
+			b.ReportMetric(s.WallClock, "vwall-s")
+			b.ReportMetric(s.TotalIO, "vio-s")
+		})
+	}
+}
+
+// --- substrate microbenchmarks (real time) ---
+
+func BenchmarkDoPri5Step(b *testing.B) {
+	f := field.DefaultABC()
+	s := integrate.NewDoPri5(integrate.Options{Tol: 1e-6})
+	p := vec.Of(1, 1, 1)
+	t := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Step(f, p, t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, t = res.P, res.T
+		if !f.Bounds().Contains(p) {
+			p = vec.Of(1, 1, 1)
+		}
+	}
+}
+
+func BenchmarkTrilinearInterp(b *testing.B) {
+	f := field.DefaultABC()
+	d := grid.NewDecomposition(f.Bounds(), 1, 1, 1, 32)
+	blk := grid.SampleBlock(f, d, 0)
+	pts := seeds.SparseRandom(f.Bounds(), 1024, 7)
+	b.ResetTimer()
+	var sink vec.V3
+	for i := 0; i < b.N; i++ {
+		sink = blk.Eval(pts[i%len(pts)])
+	}
+	_ = sink
+}
+
+func BenchmarkFieldEval(b *testing.B) {
+	cases := []struct {
+		name string
+		f    field.Field
+	}{
+		{"supernova", field.DefaultSupernova()},
+		{"tokamak", field.DefaultTokamak()},
+		{"thermal", field.DefaultThermalHydraulics()},
+		{"abc", field.DefaultABC()},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			pts := seeds.SparseRandom(tc.f.Bounds(), 1024, 11)
+			b.ResetTimer()
+			var sink vec.V3
+			for i := 0; i < b.N; i++ {
+				sink = tc.f.Eval(pts[i%len(pts)])
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkSimKernelEvents(b *testing.B) {
+	// Measures raw discrete-event throughput: one process sleeping b.N
+	// times.
+	k := sim.New()
+	k.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1e-6)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLRUCache(b *testing.B) {
+	f := field.DefaultABC()
+	d := grid.NewDecomposition(f.Bounds(), 8, 8, 8, 4)
+	prov := grid.AnalyticProvider{F: f, D: d}
+	stats := metrics.NewCollector(1)
+	k := sim.New()
+	k.Spawn("bench", func(p *sim.Proc) {
+		c := store.NewCache(p, prov, store.DiskModel{}, 64, stats.P(0))
+		for i := 0; i < b.N; i++ {
+			c.Get(grid.BlockID(i % 512))
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkStreamlineMarshal(b *testing.B) {
+	sl := trace.New(1, vec.Of(0.5, 0.5, 0.5), 0)
+	pts := make([]vec.V3, 1000)
+	for i := range pts {
+		pts[i] = vec.Of(float64(i), float64(i)*2, float64(i)*3)
+	}
+	sl.Append(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := sl.Marshal()
+		if _, err := trace.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathlineIOAmplification quantifies the paper's §8 observation:
+// pathlines through a time-sliced dataset need many more (smaller) reads
+// than steady streamlines over the same geometry.
+func BenchmarkPathlineIOAmplification(b *testing.B) {
+	tok := field.DefaultTokamak()
+	unsteady := pathline.Steady{Eval: tok.Eval, Box: tok.Bounds(), T0: 0, T1: 20}
+	d := grid.NewDecomposition(tok.Bounds(), 4, 4, 2, 16)
+	series, err := pathline.NewSeries(unsteady, d, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seedPts := []vec.V3{
+		vec.Of(tok.MajorRadius+0.05, 0, 0),
+		vec.Of(tok.MajorRadius+0.12, 0, 0),
+	}
+	var amplification float64
+	for i := 0; i < b.N; i++ {
+		tr := pathline.NewTracer(series, integrate.Options{Tol: 1e-6, HMax: 0.05}, 0)
+		paths := tr.TraceAll(seedPts, 0, 50000)
+		steady := pathline.StreamlineLoads(paths, d)
+		amplification = float64(tr.Loads) / float64(steady)
+	}
+	b.ReportMetric(amplification, "io-amplification")
+}
+
+// BenchmarkFTLE measures the flow-map analysis built on the integrator.
+func BenchmarkFTLE(b *testing.B) {
+	f := field.DefaultABC()
+	box := vec.Box(vec.Of(1, 1, 3), vec.Of(5, 5, 3.2))
+	for i := 0; i < b.N; i++ {
+		analysis.FTLE(f, box, 8, 8, 1, analysis.FTLEOptions{T: 2, IntOpts: integrate.Options{Tol: 1e-5}})
+	}
+}

@@ -1,0 +1,99 @@
+// Command slbench regenerates the paper's evaluation (Figures 5–16): for
+// each figure it runs the full sweep — dataset × {sparse, dense} seeding ×
+// {static, ondemand, hybrid} × processor counts — on the simulated
+// cluster and prints the figure's metric as a table (or CSV).
+//
+// Usage:
+//
+//	slbench                       # all figures at the default scale
+//	slbench -figure 5             # just Figure 5
+//	slbench -scale paper          # full paper-sized configuration (slow)
+//	slbench -dataset fusion -csv  # fusion figures as CSV
+//	slbench -shapes               # also check the paper's qualitative claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", "campaign scale: small, default, or paper")
+		figureID  = flag.Int("figure", 0, "run a single figure (5-16); 0 means all")
+		dataset   = flag.String("dataset", "", "restrict to one dataset: astro, fusion, thermal")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		verbose   = flag.Bool("v", false, "log every run as it completes")
+		shapes    = flag.Bool("shapes", false, "verify the paper's qualitative claims and report")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "small":
+		sc = experiments.SmallScale()
+	case "default":
+		sc = experiments.DefaultScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "slbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	c := experiments.NewCampaign(sc)
+	if *verbose {
+		c.Log = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	figs := experiments.Figures()
+	if *figureID != 0 {
+		fig, ok := experiments.FigureByID(*figureID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "slbench: no figure %d (valid: 5-16)\n", *figureID)
+			os.Exit(2)
+		}
+		figs = []experiments.Figure{fig}
+	}
+	for _, fig := range figs {
+		if *dataset != "" && string(fig.Dataset) != *dataset {
+			continue
+		}
+		if *csv {
+			rows := c.FigureRows(fig)
+			fmt.Printf("# Figure %d — %s\n%s\n", fig.ID, fig.Title,
+				metrics.CSV(rows, []string{fig.Metric}))
+		} else {
+			fmt.Println(c.FigureTable(fig))
+		}
+	}
+
+	if *shapes {
+		report := experiments.CheckShapes(c)
+		fmt.Println("Qualitative shape checks (paper Section 5):")
+		failed := 0
+		for _, r := range report {
+			status := "PASS"
+			if !r.OK {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("  [%s] %s\n", status, r.Claim)
+			if r.Detail != "" {
+				fmt.Printf("         %s\n", r.Detail)
+			}
+		}
+		if failed > 0 {
+			fmt.Printf("%d/%d checks failed\n", failed, len(report))
+			if !strings.Contains(sc.Name, "paper") {
+				fmt.Println("(some claims only manifest at larger scales; try -scale paper)")
+			}
+			os.Exit(1)
+		}
+	}
+}

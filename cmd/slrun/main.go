@@ -1,0 +1,86 @@
+// Command slrun executes a single streamline computation on the simulated
+// cluster and reports its metrics — the one-experiment counterpart to
+// slbench's full sweep.
+//
+// Usage:
+//
+//	slrun -dataset astro -seeding sparse -alg hybrid -procs 128
+//	slrun -dataset thermal -seeding dense -alg static   # reproduces the OOM
+//	slrun -alg ondemand -perproc                        # per-processor stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", "scale: small, default, or paper")
+		dataset   = flag.String("dataset", "astro", "dataset: astro, fusion, thermal")
+		seeding   = flag.String("seeding", "sparse", "seeding: sparse or dense")
+		alg       = flag.String("alg", "hybrid", "algorithm: static, ondemand, hybrid")
+		procs     = flag.Int("procs", 64, "simulated processor count")
+		perProc   = flag.Bool("perproc", false, "print per-processor statistics")
+		topN      = flag.Int("top", 5, "with -perproc, show the N busiest processors")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "small":
+		sc = experiments.SmallScale()
+	case "default":
+		sc = experiments.DefaultScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "slrun: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	prob, err := experiments.BuildProblem(experiments.Dataset(*dataset), experiments.Seeding(*seeding), sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slrun:", err)
+		os.Exit(2)
+	}
+	cfg := experiments.MachineConfig(core.Algorithm(*alg), *procs, sc)
+	fmt.Printf("running %s/%s with %s on %d processors (%d seeds, %d blocks, budget %d MB)\n",
+		*dataset, *seeding, *alg, *procs, len(prob.Seeds),
+		prob.Provider.Decomp().NumBlocks(), cfg.MemoryBudget>>20)
+
+	res, err := core.Run(prob, cfg)
+	if err != nil {
+		fmt.Printf("run failed: %v\n", err)
+		os.Exit(1)
+	}
+	s := res.Summary
+	fmt.Printf("wall clock          %10.3f s\n", s.WallClock)
+	fmt.Printf("total I/O time      %10.3f s\n", s.TotalIO)
+	fmt.Printf("total comm time     %10.3f s\n", s.TotalComm)
+	fmt.Printf("total compute time  %10.3f s\n", s.TotalCompute)
+	fmt.Printf("block efficiency    %10.3f   (loads %d, purges %d)\n",
+		s.BlockEfficiency, s.BlocksLoaded, s.BlocksPurged)
+	fmt.Printf("messages            %10d   (%d bytes)\n", s.MsgsSent, s.BytesSent)
+	fmt.Printf("integration steps   %10d\n", s.Steps)
+	fmt.Printf("streamlines done    %10d\n", s.StreamlinesCompleted)
+	fmt.Printf("peak memory         %10d MB\n", s.PeakMemoryBytes>>20)
+	fmt.Printf("load imbalance      %10.2f\n", s.Imbalance)
+
+	if *perProc {
+		fmt.Println("\nbusiest processors:")
+		// Rebuild a collector view from the per-proc stats.
+		for i, ps := range res.PerProc {
+			busy := ps.ComputeTime + ps.IOTime + ps.CommTime
+			if i >= *topN && *topN > 0 {
+				break
+			}
+			fmt.Printf("  proc %4d: busy=%8.3fs io=%8.3fs comm=%8.3fs steps=%9d loads=%5d done=%d\n",
+				ps.Proc, busy, ps.IOTime, ps.CommTime, ps.Steps, ps.BlocksLoaded, ps.StreamlinesCompleted)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of Pugmire, Childs,
+// Garth, Ahern and Weber, "Scalable Computation of Streamlines on Very
+// Large Datasets" (SC 2009): three parallel streamline-computation
+// algorithms — Static Allocation, Load On Demand, and the paper's novel
+// Hybrid Master/Slave scheme — running on a deterministic simulated
+// cluster, together with the full evaluation campaign that regenerates
+// every figure of the paper's Section 5.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// entry points are:
+//
+//   - internal/core: the three algorithms (core.Run)
+//   - internal/experiments: datasets, machine model, figure harness
+//   - cmd/slbench, cmd/slrun, cmd/slviz: command-line tools
+//   - examples/: runnable walkthroughs
+package repro

@@ -1,0 +1,175 @@
+// Package comm is the message-passing layer between simulated processors:
+// the stand-in for MPI point-to-point communication (see DESIGN.md §2).
+//
+// Every message carries an explicit byte size; per the paper's Section 8,
+// "communicating streamline geometry accounts for a large proportion of
+// communication cost", so sizes matter. Senders are charged a post
+// overhead plus a size-proportional injection cost, receivers a drain
+// cost; both are accumulated as the communication-time metric that
+// Figures 8, 11 and 15 report.
+package comm
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Message is any payload with a simulated wire size.
+type Message interface {
+	Bytes() int64
+}
+
+// Network describes the interconnect cost model.
+type Network struct {
+	// LatencySec is the end-to-end delivery latency.
+	LatencySec float64
+	// BandwidthBytesSec bounds per-message transfer speed; transfer time
+	// is added to delivery latency and charged to the sender (an
+	// MPI-like rendezvous send).
+	BandwidthBytesSec float64
+	// PostOverheadSec is CPU time charged to the sender per message.
+	PostOverheadSec float64
+	// RecvOverheadSec is CPU time charged to the receiver per message.
+	RecvOverheadSec float64
+}
+
+// DefaultNetwork returns an interconnect loosely calibrated to a 2009-era
+// Cray SeaStar torus: ~5 µs latency, ~2 GB/s links, small per-message CPU
+// overheads.
+func DefaultNetwork() Network {
+	return Network{
+		LatencySec:        5e-6,
+		BandwidthBytesSec: 2e9,
+		PostOverheadSec:   2e-6,
+		RecvOverheadSec:   2e-6,
+	}
+}
+
+// TransferTime returns the size-dependent part of sending a message.
+func (n Network) TransferTime(bytes int64) float64 {
+	if n.BandwidthBytesSec <= 0 {
+		return 0
+	}
+	return float64(bytes) / n.BandwidthBytesSec
+}
+
+// Envelope wraps a delivered message with its sender's endpoint index.
+type Envelope struct {
+	From    int
+	Payload Message
+}
+
+// Endpoint binds a simulated processor to the network. Endpoint indices
+// are assigned by the Fabric.
+type Endpoint struct {
+	fabric *Fabric
+	proc   *sim.Proc
+	index  int
+	stats  *metrics.ProcStats
+}
+
+// Fabric is the set of endpoints sharing one network.
+type Fabric struct {
+	net       Network
+	endpoints []*Endpoint
+}
+
+// NewFabric creates an empty fabric over net.
+func NewFabric(net Network) *Fabric { return &Fabric{net: net} }
+
+// Attach registers proc on the fabric and returns its endpoint.
+func (f *Fabric) Attach(proc *sim.Proc, stats *metrics.ProcStats) *Endpoint {
+	e := &Endpoint{fabric: f, proc: proc, index: len(f.endpoints), stats: stats}
+	f.endpoints = append(f.endpoints, e)
+	return e
+}
+
+// Endpoint returns the endpoint with the given index.
+func (f *Fabric) Endpoint(i int) *Endpoint { return f.endpoints[i] }
+
+// NumEndpoints returns the number of attached endpoints.
+func (f *Fabric) NumEndpoints() int { return len(f.endpoints) }
+
+// Network returns the fabric's cost model.
+func (f *Fabric) Network() Network { return f.net }
+
+// Index returns this endpoint's fabric index.
+func (e *Endpoint) Index() int { return e.index }
+
+// Proc returns the simulated processor bound to this endpoint.
+func (e *Endpoint) Proc() *sim.Proc { return e.proc }
+
+// SendHook, when non-nil, observes every sent payload; tests use it to
+// break traffic down by message type.
+var SendHook func(payload Message)
+
+// Send transmits payload to endpoint index "to". The calling processor is
+// charged post overhead plus transfer time (both recorded as comm time);
+// delivery occurs after the network latency.
+func (e *Endpoint) Send(to int, payload Message) {
+	if SendHook != nil {
+		SendHook(payload)
+	}
+	n := e.fabric.net
+	cost := n.PostOverheadSec + n.TransferTime(payload.Bytes())
+	start := e.proc.Now()
+	e.proc.Sleep(cost)
+	if e.stats != nil {
+		e.stats.CommTime += e.proc.Now() - start
+		e.stats.MsgsSent++
+		e.stats.BytesSent += payload.Bytes()
+	}
+	dst := e.fabric.endpoints[to]
+	e.proc.Send(dst.proc, Envelope{From: e.index, Payload: payload}, n.LatencySec)
+}
+
+// recvCharge applies the receiver-side cost of one delivered envelope.
+func (e *Endpoint) recvCharge(env Envelope) {
+	n := e.fabric.net
+	start := e.proc.Now()
+	e.proc.Sleep(n.RecvOverheadSec)
+	if e.stats != nil {
+		e.stats.CommTime += e.proc.Now() - start
+		e.stats.MsgsRecv++
+		e.stats.BytesRecv += env.Payload.Bytes()
+	}
+}
+
+// Recv blocks until a message arrives and returns it; receive overhead is
+// charged as communication time.
+func (e *Endpoint) Recv() Envelope {
+	env := e.proc.Recv().(Envelope)
+	e.recvCharge(env)
+	return env
+}
+
+// TryRecv returns a pending message without blocking.
+func (e *Endpoint) TryRecv() (Envelope, bool) {
+	raw, ok := e.proc.TryRecv()
+	if !ok {
+		return Envelope{}, false
+	}
+	env := raw.(Envelope)
+	e.recvCharge(env)
+	return env, true
+}
+
+// Pending returns the number of delivered-but-unread messages.
+func (e *Endpoint) Pending() int { return e.proc.Pending() }
+
+// Broadcast sends payload to every other endpoint (simple linear
+// broadcast, charged per message like MPI without collectives).
+func (e *Endpoint) Broadcast(payload Message) {
+	for i := range e.fabric.endpoints {
+		if i != e.index {
+			e.Send(i, payload)
+		}
+	}
+}
+
+// Sized is a trivial Message carrying only a byte size; control messages
+// embed it.
+type Sized int64
+
+// Bytes implements Message.
+func (s Sized) Bytes() int64 { return int64(s) }

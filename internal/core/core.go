@@ -1,0 +1,453 @@
+// Package core implements the paper's three parallel streamline
+// algorithms over the simulated cluster:
+//
+//   - Static Allocation (Section 4.1): parallelize over blocks; each
+//     processor owns a fixed 1/n of the blocks and streamlines are
+//     communicated to block owners.
+//   - Load On Demand (Section 4.2): parallelize over streamlines; each
+//     processor owns a fixed 1/n of the seeds and loads blocks it needs
+//     into an LRU cache. No communication.
+//   - Hybrid Master/Slave (Section 4.3, the paper's contribution):
+//     dedicated masters dynamically assign both streamlines and blocks to
+//     slaves, applying the five rules (Assign-loaded, Assign-unloaded,
+//     Send-force, Send-hint, Load) in the paper's 7-step sequence.
+//
+// All three produce identical streamline geometry for a given problem —
+// parallelization strategy must not change the numerics — which the
+// integration tests verify.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/grid"
+	"repro/internal/integrate"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/vec"
+)
+
+// Algorithm selects a parallelization strategy.
+type Algorithm string
+
+// The three algorithms of the paper.
+const (
+	StaticAlloc  Algorithm = "static"
+	LoadOnDemand Algorithm = "ondemand"
+	HybridMS     Algorithm = "hybrid"
+)
+
+// Algorithms lists all strategies in presentation order.
+func Algorithms() []Algorithm { return []Algorithm{StaticAlloc, LoadOnDemand, HybridMS} }
+
+// Problem describes one streamline computation: the dataset, the seed
+// set, and the integration budget.
+type Problem struct {
+	// Provider serves block data for the decomposed dataset.
+	Provider grid.Provider
+	// Seeds are the initial conditions. Seeds outside the domain are
+	// rejected by Validate.
+	Seeds []vec.V3
+	// IntOpts configures the Dormand–Prince solver.
+	IntOpts integrate.Options
+	// MaxSteps bounds each streamline's accepted steps (0 = 1000).
+	MaxSteps int
+	// MaxTime bounds each streamline's integration time (0 = unlimited).
+	MaxTime float64
+}
+
+// Validate reports a descriptive error for malformed problems.
+func (p *Problem) Validate() error {
+	if p.Provider == nil {
+		return errors.New("core: nil provider")
+	}
+	if err := p.Provider.Decomp().Validate(); err != nil {
+		return err
+	}
+	if len(p.Seeds) == 0 {
+		return errors.New("core: no seeds")
+	}
+	d := p.Provider.Decomp()
+	for i, s := range p.Seeds {
+		if _, ok := d.Locate(s); !ok {
+			return fmt.Errorf("core: seed %d at %v outside domain %v", i, s, d.Domain)
+		}
+	}
+	return nil
+}
+
+func (p *Problem) maxSteps() int {
+	if p.MaxSteps <= 0 {
+		return 1000
+	}
+	return p.MaxSteps
+}
+
+// CostModel converts algorithmic work into virtual time.
+type CostModel struct {
+	// SecPerStep is the CPU cost of one accepted Runge–Kutta step
+	// (including its field evaluations/interpolations).
+	SecPerStep float64
+}
+
+// DefaultCost returns a cost model loosely calibrated to 2009-era
+// per-core advection throughput (~200k adaptive steps/s).
+func DefaultCost() CostModel { return CostModel{SecPerStep: 5e-6} }
+
+// HybridParams are the tuning constants of the Hybrid Master/Slave
+// algorithm, with the paper's published defaults.
+type HybridParams struct {
+	N  int // seeds per assignment ("Initially, each slave is assigned N = 10")
+	NO int // slave overload limit ("NO = 20×N")
+	NL int // block-load threshold ("NL = 40")
+	W  int // slaves per master ("one master per W = 32 slaves")
+}
+
+// DefaultHybrid returns the paper's parameter choices.
+func DefaultHybrid() HybridParams {
+	return HybridParams{N: 10, NO: 200, NL: 40, W: 32}
+}
+
+func (h HybridParams) defaults() HybridParams {
+	d := DefaultHybrid()
+	if h.N <= 0 {
+		h.N = d.N
+	}
+	if h.NO <= 0 {
+		h.NO = 20 * h.N
+	}
+	if h.NL <= 0 {
+		h.NL = d.NL
+	}
+	if h.W <= 0 {
+		h.W = d.W
+	}
+	return h
+}
+
+// Config describes the simulated machine and the strategy to run.
+type Config struct {
+	Procs     int
+	Algorithm Algorithm
+	Disk      store.DiskModel
+	Net       comm.Network
+	Cost      CostModel
+
+	// CacheBlocks is the per-processor LRU capacity in blocks for Load
+	// On Demand and for Hybrid slaves (0 = unbounded). Static Allocation
+	// pins its owned blocks instead.
+	CacheBlocks int
+	// DiskServers, when > 0, serializes block reads through that many
+	// shared I/O servers, modeling a parallel filesystem whose aggregate
+	// bandwidth does not grow with processor count.
+	DiskServers int
+	// MemoryBudget, when > 0, is the per-processor memory limit in bytes
+	// (blocks + streamline geometry). Exceeding it aborts the run with a
+	// *store.OOMError, the paper's Static-Allocation dense-seeding
+	// failure mode.
+	MemoryBudget int64
+	// CommunicateGeometry controls whether migrating streamlines carry
+	// their geometry (the default, matching the paper) or only solver
+	// state (the paper's §8 proposed optimization).
+	NoGeometry bool
+	// Hybrid holds the master/slave tuning parameters.
+	Hybrid HybridParams
+	// CollectTraces gathers the finished streamlines into the Result
+	// (costs host memory; used by tests, examples and rendering).
+	CollectTraces bool
+}
+
+// Validate reports a descriptive error for malformed configs.
+func (c *Config) Validate() error {
+	if c.Procs <= 0 {
+		return fmt.Errorf("core: non-positive processor count %d", c.Procs)
+	}
+	switch c.Algorithm {
+	case StaticAlloc, LoadOnDemand, HybridMS:
+	default:
+		return fmt.Errorf("core: unknown algorithm %q", c.Algorithm)
+	}
+	if c.Algorithm == HybridMS && c.Procs < 2 {
+		return errors.New("core: hybrid needs at least 1 master and 1 slave")
+	}
+	return nil
+}
+
+// Result reports one run.
+type Result struct {
+	Summary metrics.Summary
+	PerProc []metrics.ProcStats
+	// Streamlines holds the finished curves when CollectTraces was set,
+	// ordered by streamline ID.
+	Streamlines []*trace.Streamline
+}
+
+// Run executes the configured algorithm on the problem and returns its
+// metrics. Runs are deterministic: the same problem and config produce
+// identical results.
+func Run(p Problem, cfg Config) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cost.SecPerStep == 0 {
+		cfg.Cost = DefaultCost()
+	}
+	cfg.Hybrid = cfg.Hybrid.defaults()
+
+	r := &runState{
+		prob:    &p,
+		cfg:     &cfg,
+		kernel:  sim.New(),
+		collect: metrics.NewCollector(cfg.Procs),
+	}
+	r.fabric = comm.NewFabric(cfg.Net)
+	if cfg.DiskServers > 0 {
+		cfg.Disk.Shared = sim.NewResource(r.kernel, cfg.DiskServers)
+	}
+
+	switch cfg.Algorithm {
+	case StaticAlloc:
+		r.buildStatic()
+	case LoadOnDemand:
+		r.buildOnDemand()
+	case HybridMS:
+		r.buildHybrid()
+	}
+
+	simErr := r.kernel.Run()
+	if r.err != nil {
+		// An in-simulation failure (e.g. OOM) usually strands peers;
+		// report the root cause rather than the collateral deadlock.
+		return nil, r.err
+	}
+	if simErr != nil {
+		return nil, simErr
+	}
+
+	res := &Result{
+		Summary: r.collect.Aggregate(),
+		PerProc: r.collect.All(),
+	}
+	if cfg.CollectTraces {
+		res.Streamlines = r.finished
+		sort.Slice(res.Streamlines, func(i, j int) bool {
+			return res.Streamlines[i].ID < res.Streamlines[j].ID
+		})
+		if len(res.Streamlines) != len(p.Seeds) {
+			return nil, fmt.Errorf("core: %d streamlines finished, %d seeded",
+				len(res.Streamlines), len(p.Seeds))
+		}
+	}
+	return res, nil
+}
+
+// runState is the shared context of one run.
+type runState struct {
+	prob    *Problem
+	cfg     *Config
+	kernel  *sim.Kernel
+	fabric  *comm.Fabric
+	collect *metrics.Collector
+
+	err      error // first fatal in-simulation error (e.g. OOM)
+	finished []*trace.Streamline
+}
+
+// fail records the first fatal error; workers check failed() to stop.
+func (r *runState) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *runState) failed() bool { return r.err != nil }
+
+// complete records a finished streamline. Its geometry stays resident on
+// the processor that finished it (results are held for output), which is
+// what makes dense seeding under Static Allocation run out of memory in
+// the paper's Section 5.3 — so completion does NOT release the
+// streamline's memory accounting.
+func (r *runState) complete(w *worker, sl *trace.Streamline) {
+	w.stats.StreamlinesCompleted++
+	if r.cfg.CollectTraces {
+		r.finished = append(r.finished, sl)
+	}
+}
+
+// seedRec pairs a seed with its containing block and global ID.
+type seedRec struct {
+	id    int
+	p     vec.V3
+	block grid.BlockID
+}
+
+// seedRecords locates every seed, sorted by (block, id) so contiguous
+// splits are grouped by block "to enhance data locality" (Section 4.2).
+func (r *runState) seedRecords() []seedRec {
+	d := r.prob.Provider.Decomp()
+	recs := make([]seedRec, len(r.prob.Seeds))
+	for i, s := range r.prob.Seeds {
+		b, _ := d.Locate(s) // validated already
+		recs[i] = seedRec{id: i, p: s, block: b}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].block != recs[j].block {
+			return recs[i].block < recs[j].block
+		}
+		return recs[i].id < recs[j].id
+	})
+	return recs
+}
+
+// worker bundles the per-processor runtime pieces shared by all three
+// algorithms.
+type worker struct {
+	run   *runState
+	proc  *sim.Proc
+	end   *comm.Endpoint
+	cache *store.Cache
+	stats *metrics.ProcStats
+
+	// geomBytes tracks resident streamline memory for the budget check.
+	geomBytes int64
+}
+
+// newWorker attaches a worker to proc with the given cache capacity.
+func (r *runState) newWorker(proc *sim.Proc, statIdx, cacheBlocks int) *worker {
+	stats := r.collect.P(statIdx)
+	return &worker{
+		run:   r,
+		proc:  proc,
+		end:   r.fabric.Attach(proc, stats),
+		cache: store.NewCache(proc, r.prob.Provider, r.cfg.Disk, cacheBlocks, stats),
+		stats: stats,
+	}
+}
+
+// adoptStreamline accounts for a streamline becoming resident.
+func (w *worker) adoptStreamline(sl *trace.Streamline) { w.geomBytes += sl.MemoryBytes() }
+
+// releaseStreamline accounts for a streamline leaving this processor.
+func (w *worker) releaseStreamline(sl *trace.Streamline) { w.geomBytes -= sl.MemoryBytes() }
+
+// checkMemory enforces the per-processor budget; on violation it records
+// an OOM error on the run and reports false.
+func (w *worker) checkMemory(what string) bool {
+	budget := w.run.cfg.MemoryBudget
+	used := w.cache.ResidentBytes() + w.geomBytes
+	w.stats.ObserveMemory(used)
+	if budget > 0 && used > budget {
+		w.run.fail(&store.OOMError{
+			Proc:        w.end.Index(),
+			NeededBytes: used,
+			BudgetBytes: budget,
+			What:        what,
+		})
+		return false
+	}
+	return true
+}
+
+// advance integrates sl inside evaluator ev, bounded by block bounds,
+// charging compute time. It updates the streamline's status and block.
+// Geometry growth is tracked against the memory budget.
+func (w *worker) advance(sl *trace.Streamline, ev grid.Evaluator, bounds vec.AABB) {
+	p := w.run.prob
+	solver := integrate.NewDoPri5(p.IntOpts)
+	solver.H = sl.H
+
+	before := sl.MemoryBytes()
+	res := solver.Advect(ev, sl.P, sl.T, integrate.AdvectLimits{
+		Bounds:   bounds,
+		MaxSteps: p.maxSteps() - sl.Steps,
+		MaxTime:  p.MaxTime,
+	})
+	sl.Append(res.Points)
+	sl.T = res.T
+	sl.Steps += res.Steps
+	sl.H = solver.H
+	w.geomBytes += sl.MemoryBytes() - before
+
+	// Charge virtual compute time.
+	cost := float64(res.Steps) * w.run.cfg.Cost.SecPerStep
+	start := w.proc.Now()
+	w.proc.Sleep(cost)
+	w.stats.ComputeTime += w.proc.Now() - start
+	w.stats.Steps += int64(res.Steps)
+
+	switch res.Reason {
+	case integrate.StopOutOfBlock:
+		d := p.Provider.Decomp()
+		if nb, ok := d.Locate(sl.P); ok {
+			sl.Block = nb
+			// Still active; may re-trigger budget checks upstream.
+		} else {
+			sl.Status = trace.OutOfBounds
+			sl.Block = grid.NoBlock
+		}
+	case integrate.StopMaxSteps, integrate.StopMaxTime:
+		sl.Status = trace.MaxedOut
+	case integrate.StopCritical:
+		sl.Status = trace.AtCritical
+	case integrate.StopError:
+		sl.Status = trace.Failed
+	}
+}
+
+// --- wire messages shared by the algorithms ---
+
+// msgStreamlines carries migrating streamlines; its wire size reflects
+// whether geometry travels (paper §8). In NoGeometry mode the geometry is
+// truncated to the current head before transmission.
+type msgStreamlines struct {
+	sls      []*trace.Streamline
+	geometry bool
+}
+
+// Bytes implements comm.Message.
+func (m msgStreamlines) Bytes() int64 {
+	var total int64
+	for _, sl := range m.sls {
+		total += sl.WireBytes(m.geometry)
+	}
+	return total
+}
+
+// sendStreamlines transmits sls to endpoint to, handling the geometry
+// policy and memory accounting.
+func (w *worker) sendStreamlines(to int, sls []*trace.Streamline) {
+	if len(sls) == 0 {
+		return
+	}
+	geom := !w.run.cfg.NoGeometry
+	for _, sl := range sls {
+		w.releaseStreamline(sl)
+		if !geom && len(sl.Points) > 1 {
+			// Solver-state-only communication: downstream processors
+			// continue integration from the head; earlier geometry stays
+			// behind (acceptable for puncture-plot-style analyses).
+			sl.Points = []vec.V3{sl.P}
+		}
+	}
+	w.end.Send(to, msgStreamlines{sls: sls, geometry: geom})
+}
+
+// msgDone reports completed streamlines to a coordinator.
+type msgDone struct{ count int }
+
+// Bytes implements comm.Message.
+func (msgDone) Bytes() int64 { return 16 }
+
+// msgAllDone broadcasts global termination.
+type msgAllDone struct{}
+
+// Bytes implements comm.Message.
+func (msgAllDone) Bytes() int64 { return 8 }

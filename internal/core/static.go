@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Static Allocation (paper Section 4.1): "we statically allocate blocks to
+// processors such that the first of n processors is assigned the first 1/n
+// of the blocks... Each streamline is integrated until it leaves the
+// blocks owned by the processor. As each streamline moves between blocks,
+// it is communicated to the processor that owns the block in which it
+// currently resides. A globally communicated streamline count is
+// maintained... Once the count goes to zero, all processors terminate."
+//
+// Processor 0 doubles as the count coordinator: workers report
+// terminations to it and it broadcasts the global all-done signal.
+
+// staticOwner computes the block→processor assignment: contiguous 1/n
+// slices in block-ID order. Processor i owns blocks
+// [i·B/n, (i+1)·B/n).
+func staticOwner(numBlocks, procs int) func(grid.BlockID) int {
+	return func(b grid.BlockID) int {
+		if numBlocks == 0 {
+			return 0
+		}
+		i := int(b) * procs / numBlocks
+		// Integer-division inversion can land one slice off at the
+		// boundaries; nudge into the owning slice.
+		for i > 0 && int(b) < i*numBlocks/procs {
+			i--
+		}
+		for i < procs-1 && int(b) >= (i+1)*numBlocks/procs {
+			i++
+		}
+		return i
+	}
+}
+
+func (r *runState) buildStatic() {
+	n := r.cfg.Procs
+	d := r.prob.Provider.Decomp()
+	owner := staticOwner(d.NumBlocks(), n)
+
+	// Pre-route every seed to the owner of its block (initial seed
+	// distribution; not charged as communication, matching the paper's
+	// setup phase).
+	initial := make([][]*trace.Streamline, n)
+	for _, rec := range r.seedRecords() {
+		sl := trace.New(rec.id, rec.p, rec.block)
+		o := owner(rec.block)
+		initial[o] = append(initial[o], sl)
+	}
+
+	for i := 0; i < n; i++ {
+		i := i
+		lo := i * d.NumBlocks() / n
+		hi := (i + 1) * d.NumBlocks() / n
+		var w *worker
+		proc := r.kernel.Spawn(fmt.Sprintf("static-%d", i), func(p *sim.Proc) {
+			r.staticWorker(w, owner, initial[i])
+		})
+		// Owned blocks stay resident for the whole run — that is what
+		// makes Static Allocation's I/O ideal — so capacity equals the
+		// owned count and every owned block is pinned.
+		w = r.newWorker(proc, i, max(hi-lo, 1))
+		for b := lo; b < hi; b++ {
+			w.cache.Pin(grid.BlockID(b))
+		}
+	}
+}
+
+// staticWorker is the per-processor body of the Static Allocation
+// algorithm.
+func (r *runState) staticWorker(w *worker, owner func(grid.BlockID) int, initial []*trace.Streamline) {
+	defer func() { w.stats.EndTime = w.proc.Now() }()
+
+	queue := initial
+	for _, sl := range queue {
+		w.adoptStreamline(sl)
+	}
+	if !w.checkMemory("initial streamlines") {
+		return
+	}
+
+	me := w.end.Index()
+	coordinator := me == 0
+	remaining := 0 // coordinator-only: streamlines not yet terminated
+	if coordinator {
+		remaining = len(r.prob.Seeds)
+	}
+	done := remaining == 0 && coordinator
+	if done {
+		// Degenerate empty problem; still tell everyone.
+		w.end.Broadcast(msgAllDone{})
+		return
+	}
+	done = false
+
+	// reportDone forwards termination counts to the coordinator; the
+	// coordinator short-circuits its own reports locally.
+	reportDone := func(count int) {
+		if coordinator {
+			remaining -= count
+			if remaining == 0 {
+				w.end.Broadcast(msgAllDone{})
+				done = true
+			}
+			return
+		}
+		w.end.Send(0, msgDone{count: count})
+	}
+
+	handle := func(env comm.Envelope) {
+		switch m := env.Payload.(type) {
+		case msgStreamlines:
+			for _, sl := range m.sls {
+				w.adoptStreamline(sl)
+				queue = append(queue, sl)
+			}
+		case msgDone:
+			if coordinator {
+				reportDone(m.count)
+			}
+		case msgAllDone:
+			done = true
+		}
+	}
+
+	for !done {
+		// Drain any pending messages first so incoming streamlines join
+		// this round's queue.
+		for {
+			env, ok := w.end.TryRecv()
+			if !ok {
+				break
+			}
+			handle(env)
+		}
+		if done || r.failed() {
+			return
+		}
+
+		if len(queue) == 0 {
+			// Nothing to integrate: wait for streamlines or termination.
+			handle(w.end.Recv())
+			continue
+		}
+
+		sl := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		if sl.Steps >= r.prob.maxSteps() {
+			sl.Status = trace.MaxedOut
+		} else {
+			ev := w.cache.Get(sl.Block) // owned blocks load once, stay pinned
+			w.advance(sl, ev, r.prob.Provider.Decomp().Bounds(sl.Block))
+		}
+		if !w.checkMemory("streamline geometry") {
+			return
+		}
+
+		if sl.Status.Terminated() {
+			r.complete(w, sl)
+			reportDone(1)
+			continue
+		}
+		// Still active in a new block: keep it if we own it, otherwise
+		// communicate it (geometry and all) to the owner.
+		if o := owner(sl.Block); o == me {
+			queue = append(queue, sl)
+		} else {
+			w.sendStreamlines(o, []*trace.Streamline{sl})
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// ShapeResult is one qualitative claim from the paper's Section 5 checked
+// against this campaign's measurements.
+type ShapeResult struct {
+	Claim  string
+	OK     bool
+	Detail string
+}
+
+// CheckShapes verifies the paper's qualitative findings — who wins, by
+// roughly what factor, and where the boundary cases fall — against the
+// campaign. Absolute numbers are not compared (our substrate is a
+// simulator, not JaguarPF); the shapes are.
+func CheckShapes(c *Campaign) []ShapeResult {
+	top := c.Scale.ProcCounts[len(c.Scale.ProcCounts)-1]
+
+	get := func(ds Dataset, seeding Seeding, alg core.Algorithm) Outcome {
+		return c.Run(Key{Dataset: ds, Seeding: seeding, Alg: alg, Procs: top})
+	}
+	sum := func(ds Dataset, seeding Seeding, alg core.Algorithm) metrics.Summary {
+		return get(ds, seeding, alg).Summary
+	}
+
+	var out []ShapeResult
+	add := func(claim string, ok bool, detail string) {
+		out = append(out, ShapeResult{Claim: claim, OK: ok, Detail: detail})
+	}
+
+	// --- Astrophysics (Figures 5–8) ---
+	for _, seeding := range Seedings() {
+		h := sum(Astro, seeding, core.HybridMS).WallClock
+		s := sum(Astro, seeding, core.StaticAlloc).WallClock
+		l := sum(Astro, seeding, core.LoadOnDemand).WallClock
+		add(fmt.Sprintf("Fig 5 (%s): Hybrid has the best astro wall clock", seeding),
+			h <= s*1.05 && h <= l*1.05,
+			fmt.Sprintf("hybrid=%.3f static=%.3f ondemand=%.3f", h, s, l))
+	}
+	{
+		lIO := sum(Astro, Sparse, core.LoadOnDemand).TotalIO
+		sIO := sum(Astro, Sparse, core.StaticAlloc).TotalIO
+		hIO := sum(Astro, Sparse, core.HybridMS).TotalIO
+		add("Fig 6: Load-On-Demand spends far more I/O time than Static (astro)",
+			lIO >= 3*sIO,
+			fmt.Sprintf("ondemand=%.2f static=%.2f", lIO, sIO))
+		add("Fig 6: Hybrid I/O stays near the Static ideal (astro)",
+			hIO <= 8*sIO,
+			fmt.Sprintf("hybrid=%.2f static=%.2f", hIO, sIO))
+	}
+	for _, seeding := range Seedings() {
+		sE := sum(Astro, seeding, core.StaticAlloc).BlockEfficiency
+		lE := sum(Astro, seeding, core.LoadOnDemand).BlockEfficiency
+		hE := sum(Astro, seeding, core.HybridMS).BlockEfficiency
+		add(fmt.Sprintf("Fig 7 (%s): block efficiency Static=1, Hybrid at or above Load-On-Demand", seeding),
+			sE == 1 && hE >= lE,
+			fmt.Sprintf("static=%.3f hybrid=%.3f ondemand=%.3f", sE, hE, lE))
+	}
+	{
+		sSparse := sum(Astro, Sparse, core.StaticAlloc).TotalComm
+		hSparse := sum(Astro, Sparse, core.HybridMS).TotalComm
+		sDense := sum(Astro, Dense, core.StaticAlloc).TotalComm
+		hDense := sum(Astro, Dense, core.HybridMS).TotalComm
+		add("Fig 8: Static communicates more than Hybrid (astro sparse)",
+			sSparse > 1.5*hSparse,
+			fmt.Sprintf("static=%.4f hybrid=%.4f ratio=%.1f", sSparse, hSparse, ratio(sSparse, hSparse)))
+		add("Fig 8: the Static/Hybrid communication gap widens for dense seeds (astro)",
+			ratio(sDense, hDense) > ratio(sSparse, hSparse),
+			fmt.Sprintf("dense ratio=%.1f sparse ratio=%.1f", ratio(sDense, hDense), ratio(sSparse, hSparse)))
+	}
+
+	// --- Fusion (Figures 9–12) ---
+	{
+		s := sum(Fusion, Sparse, core.StaticAlloc).WallClock
+		h := sum(Fusion, Sparse, core.HybridMS).WallClock
+		add("Fig 9: Static and Hybrid perform comparably on fusion",
+			within(s, h, 3),
+			fmt.Sprintf("static=%.3f hybrid=%.3f", s, h))
+		l := sum(Fusion, Sparse, core.LoadOnDemand).WallClock
+		add("Fig 9: Load-On-Demand performs poorly for sparse fusion seeds",
+			l > 2*s,
+			fmt.Sprintf("ondemand=%.3f static=%.3f", l, s))
+		lD := sum(Fusion, Dense, core.LoadOnDemand).WallClock
+		sD := sum(Fusion, Dense, core.StaticAlloc).WallClock
+		add("Fig 9: dense seeding narrows the Load-On-Demand gap (working set fits cache)",
+			lD/sD < l/s,
+			fmt.Sprintf("dense ratio=%.1f sparse ratio=%.1f", lD/sD, l/s))
+	}
+	{
+		lIO := sum(Fusion, Dense, core.LoadOnDemand).TotalIO
+		sIO := sum(Fusion, Dense, core.StaticAlloc).TotalIO
+		add("Fig 10: Load-On-Demand performs more I/O on fusion",
+			lIO > sIO,
+			fmt.Sprintf("ondemand=%.2f static=%.2f", lIO, sIO))
+	}
+	{
+		sD := sum(Fusion, Dense, core.StaticAlloc).TotalComm
+		sS := sum(Fusion, Sparse, core.StaticAlloc).TotalComm
+		add("Fig 11: Static communication is higher for dense fusion seeds",
+			sD > sS,
+			fmt.Sprintf("dense=%.4f sparse=%.4f", sD, sS))
+	}
+	{
+		hFus := sum(Fusion, Sparse, core.HybridMS).BlockEfficiency
+		hAst := sum(Astro, Sparse, core.HybridMS).BlockEfficiency
+		add("Fig 12: Hybrid block efficiency is lower on fusion than astro (more replication pays)",
+			hFus < hAst,
+			fmt.Sprintf("fusion=%.3f astro=%.3f", hFus, hAst))
+	}
+
+	// --- Thermal hydraulics (Figures 13–16) ---
+	{
+		s := sum(Thermal, Sparse, core.StaticAlloc).WallClock
+		l := sum(Thermal, Sparse, core.LoadOnDemand).WallClock
+		h := sum(Thermal, Sparse, core.HybridMS).WallClock
+		lo, hi := minMax3(s, l, h)
+		add("Fig 13: sparse thermal — all three algorithms are comparable",
+			hi <= 8*lo,
+			fmt.Sprintf("static=%.3f ondemand=%.3f hybrid=%.3f", s, l, h))
+	}
+	{
+		outD := get(Thermal, Dense, core.StaticAlloc)
+		var oom *store.OOMError
+		add("Fig 13: dense thermal — Static Allocation runs out of memory",
+			outD.Err != nil && errors.As(outD.Err, &oom),
+			fmt.Sprintf("err=%v", outD.Err))
+		l := sum(Thermal, Dense, core.LoadOnDemand).WallClock
+		h := sum(Thermal, Dense, core.HybridMS).WallClock
+		add("Fig 13: dense thermal — Load-On-Demand outperforms Hybrid (compute hides I/O)",
+			l <= h,
+			fmt.Sprintf("ondemand=%.3f hybrid=%.3f", l, h))
+	}
+	{
+		lIO := sum(Thermal, Dense, core.LoadOnDemand).TotalIO
+		lWall := sum(Thermal, Dense, core.LoadOnDemand).WallClock
+		add("Fig 14: dense thermal — Load-On-Demand I/O is minor relative to its runtime",
+			lIO < float64(top)*lWall/2,
+			fmt.Sprintf("totalIO=%.3f procs×wall=%.3f", lIO, float64(top)*lWall))
+	}
+
+	return out
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return 1e9
+	}
+	return a / b
+}
+
+func within(a, b, factor float64) bool {
+	return ratio(a, b) <= factor && ratio(b, a) <= factor
+}
+
+func minMax3(a, b, c float64) (lo, hi float64) {
+	lo, hi = a, a
+	for _, v := range []float64{b, c} {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return
+}

@@ -1,0 +1,458 @@
+// Package integrate provides the numerical ODE solvers used to trace
+// streamlines: dx/dt = v(x).
+//
+// The paper (Section 2.1) integrates with "a scheme of Runge-Kutta type
+// with adaptive stepsize control as proposed by Dormand and Prince"; this
+// package implements that Dormand–Prince 5(4) embedded pair with a
+// standard PI step-size controller, plus fixed-step RK4 and Euler
+// baselines used by convergence tests.
+package integrate
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Evaluator is the right-hand side of the ODE: a vector field query.
+type Evaluator interface {
+	Eval(p vec.V3) vec.V3
+}
+
+// EvalFunc adapts a plain function to the Evaluator interface.
+type EvalFunc func(p vec.V3) vec.V3
+
+// Eval implements Evaluator.
+func (f EvalFunc) Eval(p vec.V3) vec.V3 { return f(p) }
+
+// Options controls adaptive integration.
+type Options struct {
+	// Tol is the per-step error tolerance (absolute, on position).
+	Tol float64
+	// H0 is the initial step size; 0 picks one from the field magnitude.
+	H0 float64
+	// HMin is the smallest allowed step; steps clamp here rather than
+	// failing, so integration always progresses.
+	HMin float64
+	// HMax caps the step size; 0 means no cap.
+	HMax float64
+	// MinSpeed terminates integration when the local field magnitude
+	// drops below it (critical-point sink, the paper's "vector field
+	// complexity" criterion). 0 applies a small default.
+	MinSpeed float64
+}
+
+// Defaults fills unset options with production values.
+func (o Options) Defaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.HMin <= 0 {
+		o.HMin = 1e-7
+	}
+	if o.MinSpeed <= 0 {
+		o.MinSpeed = 1e-9
+	}
+	return o
+}
+
+// StopReason explains why an advection call returned.
+type StopReason int
+
+// Stop reasons, from the integrator's perspective. The engine layers its
+// own semantics on top (OutOfBlock usually means "hand off to another
+// block or processor").
+const (
+	StopNone       StopReason = iota // still going (internal use)
+	StopOutOfBlock                   // left the supplied bounding box
+	StopMaxSteps                     // hit the per-call step budget
+	StopMaxTime                      // hit the integration-time budget
+	StopCritical                     // field magnitude below MinSpeed
+	StopError                        // field returned a non-finite value
+)
+
+// String implements fmt.Stringer.
+func (s StopReason) String() string {
+	switch s {
+	case StopNone:
+		return "none"
+	case StopOutOfBlock:
+		return "out-of-block"
+	case StopMaxSteps:
+		return "max-steps"
+	case StopMaxTime:
+		return "max-time"
+	case StopCritical:
+		return "critical-point"
+	case StopError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrNonFinite is returned when the field produces NaN or Inf.
+var ErrNonFinite = errors.New("integrate: field returned non-finite value")
+
+// Dormand–Prince RK5(4) coefficients (the DOPRI5 tableau).
+var (
+	dpA = [7][6]float64{
+		{},
+		{1.0 / 5},
+		{3.0 / 40, 9.0 / 40},
+		{44.0 / 45, -56.0 / 15, 32.0 / 9},
+		{19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+		{9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+		{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+	}
+	// 5th-order solution weights (same as the last A row: FSAL).
+	dpB5 = [7]float64{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84, 0}
+	// 4th-order (embedded) solution weights.
+	dpB4 = [7]float64{5179.0 / 57600, 0, 7571.0 / 16695, 393.0 / 640, -92097.0 / 339200, 187.0 / 2100, 1.0 / 40}
+)
+
+// DoPri5 is a Dormand–Prince 5(4) adaptive integrator. The zero value is
+// not usable; construct with NewDoPri5. A DoPri5 carries per-streamline
+// state (current step size) so it can be suspended when a streamline is
+// handed to another processor and resumed bit-for-bit identically — the
+// solver state is part of what the algorithms communicate.
+type DoPri5 struct {
+	Opts Options
+	// H is the current step size (exported so solver state can be
+	// serialized with a streamline, per the paper's §8 note that
+	// communicating solver state suffices for many applications).
+	H float64
+}
+
+// NewDoPri5 returns an integrator with the given options.
+func NewDoPri5(opts Options) *DoPri5 {
+	return &DoPri5{Opts: opts.Defaults()}
+}
+
+// StepResult reports one adaptive step.
+type StepResult struct {
+	P        vec.V3  // new position
+	T        float64 // new integration time
+	Evals    int     // field evaluations consumed (including rejected trials)
+	Accepted bool
+}
+
+// Step advances one accepted adaptive step from (p, t), updating the
+// internal step size. It returns ErrNonFinite if the field misbehaves.
+func (s *DoPri5) Step(f Evaluator, p vec.V3, t float64) (StepResult, error) {
+	o := s.Opts
+	if s.H == 0 {
+		s.H = s.initialStep(f, p)
+	}
+	evals := 0
+	var k [7]vec.V3
+	for try := 0; try < 64; try++ {
+		h := s.H
+		k[0] = f.Eval(p)
+		evals++
+		if !k[0].IsFinite() {
+			return StepResult{Evals: evals}, ErrNonFinite
+		}
+		for i := 1; i < 7; i++ {
+			q := p
+			for j := 0; j < i; j++ {
+				if dpA[i][j] != 0 {
+					q = q.Add(k[j].Scale(h * dpA[i][j]))
+				}
+			}
+			k[i] = f.Eval(q)
+			evals++
+			if !k[i].IsFinite() {
+				return StepResult{Evals: evals}, ErrNonFinite
+			}
+		}
+		var p5, p4 vec.V3
+		p5, p4 = p, p
+		for i := 0; i < 7; i++ {
+			if dpB5[i] != 0 {
+				p5 = p5.Add(k[i].Scale(h * dpB5[i]))
+			}
+			if dpB4[i] != 0 {
+				p4 = p4.Add(k[i].Scale(h * dpB4[i]))
+			}
+		}
+		errEst := p5.Dist(p4)
+		if errEst <= o.Tol || h <= o.HMin {
+			// Accept; grow the step for next time (classic 0.9 safety,
+			// order-5 exponent).
+			s.H = nextStep(h, errEst, o)
+			return StepResult{P: p5, T: t + h, Evals: evals, Accepted: true}, nil
+		}
+		// Reject: shrink and retry.
+		s.H = nextStep(h, errEst, o)
+		if s.H >= h { // ensure progress on pathological error estimates
+			s.H = h / 2
+		}
+		if s.H < o.HMin {
+			s.H = o.HMin
+		}
+	}
+	// Tolerance unreachable: accept a minimal step rather than spinning.
+	s.H = o.HMin
+	h := s.H
+	v := f.Eval(p)
+	evals++
+	if !v.IsFinite() {
+		return StepResult{Evals: evals}, ErrNonFinite
+	}
+	return StepResult{P: p.Add(v.Scale(h)), T: t + h, Evals: evals, Accepted: true}, nil
+}
+
+func nextStep(h, errEst float64, o Options) float64 {
+	var factor float64
+	if errEst == 0 {
+		factor = 5
+	} else {
+		factor = 0.9 * math.Pow(o.Tol/errEst, 0.2)
+		if factor > 5 {
+			factor = 5
+		}
+		if factor < 0.1 {
+			factor = 0.1
+		}
+	}
+	h *= factor
+	if o.HMax > 0 && h > o.HMax {
+		h = o.HMax
+	}
+	if h < o.HMin {
+		h = o.HMin
+	}
+	return h
+}
+
+// initialStep picks a starting step from the local field magnitude so the
+// first step moves a small fraction of a unit length.
+func (s *DoPri5) initialStep(f Evaluator, p vec.V3) float64 {
+	v := f.Eval(p).Norm()
+	if v < 1e-12 {
+		return 1e-3
+	}
+	h := 0.01 / v
+	if s.Opts.HMax > 0 && h > s.Opts.HMax {
+		h = s.Opts.HMax
+	}
+	if h < s.Opts.HMin {
+		h = s.Opts.HMin
+	}
+	return h
+}
+
+// AdvectLimits bounds one Advect call.
+type AdvectLimits struct {
+	Bounds   vec.AABB // stop when the position leaves this box
+	MaxSteps int      // stop after this many accepted steps (0 = unlimited)
+	MaxTime  float64  // stop at this integration time (0 = unlimited)
+}
+
+// AdvectResult reports an Advect call.
+type AdvectResult struct {
+	P      vec.V3     // final position
+	T      float64    // final integration time
+	Steps  int        // accepted steps taken
+	Evals  int        // field evaluations consumed
+	Reason StopReason // why advection stopped
+	Points []vec.V3   // positions after each accepted step (geometry)
+}
+
+// Advect integrates from (p, t) until a limit is reached, collecting the
+// intermediate geometry. The caller owns domain semantics: typically
+// Bounds is the current block's box, so StopOutOfBlock signals a block
+// transition.
+func (s *DoPri5) Advect(f Evaluator, p vec.V3, t float64, lim AdvectLimits) AdvectResult {
+	res := AdvectResult{P: p, T: t}
+	for {
+		if lim.MaxSteps > 0 && res.Steps >= lim.MaxSteps {
+			res.Reason = StopMaxSteps
+			return res
+		}
+		if lim.MaxTime > 0 && res.T >= lim.MaxTime {
+			res.Reason = StopMaxTime
+			return res
+		}
+		if v := f.Eval(res.P); v.Norm() < s.Opts.MinSpeed {
+			res.Evals++
+			res.Reason = StopCritical
+			return res
+		}
+		res.Evals++ // the speed check above
+		if lim.MaxTime > 0 && s.H > 0 {
+			// Land exactly on the time horizon: flow-map analyses (FTLE)
+			// need neighboring trajectories to stop at identical times.
+			if remain := lim.MaxTime - res.T; s.H > remain {
+				s.H = remain
+			}
+		}
+		step, err := s.Step(f, res.P, res.T)
+		res.Evals += step.Evals
+		if err != nil {
+			res.Reason = StopError
+			return res
+		}
+		res.P = step.P
+		res.T = step.T
+		res.Steps++
+		res.Points = append(res.Points, step.P)
+		if !lim.Bounds.Contains(res.P) {
+			res.Reason = StopOutOfBlock
+			return res
+		}
+	}
+}
+
+// TimeEvaluator is the right-hand side of the non-autonomous ODE
+// dx/dt = v(x, t) used for pathlines in time-varying fields (the paper's
+// Section 8 extension).
+type TimeEvaluator interface {
+	EvalAt(p vec.V3, t float64) vec.V3
+}
+
+// TimeEvalFunc adapts a function to TimeEvaluator.
+type TimeEvalFunc func(p vec.V3, t float64) vec.V3
+
+// EvalAt implements TimeEvaluator.
+func (f TimeEvalFunc) EvalAt(p vec.V3, t float64) vec.V3 { return f(p, t) }
+
+// frozen restricts a TimeEvaluator to one instant, for reusing the
+// autonomous machinery stage-by-stage.
+type frozen struct {
+	f TimeEvaluator
+	t float64
+}
+
+func (fr frozen) Eval(p vec.V3) vec.V3 { return fr.f.EvalAt(p, fr.t) }
+
+// dpC are the Dormand–Prince stage time fractions (row sums of dpA).
+var dpC = [7]float64{0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1, 1}
+
+// StepT advances one accepted adaptive step of the non-autonomous system,
+// evaluating the field at the proper stage times t + c_i·h.
+func (s *DoPri5) StepT(f TimeEvaluator, p vec.V3, t float64) (StepResult, error) {
+	o := s.Opts
+	if s.H == 0 {
+		s.H = s.initialStep(frozen{f, t}, p)
+	}
+	evals := 0
+	var k [7]vec.V3
+	for try := 0; try < 64; try++ {
+		h := s.H
+		k[0] = f.EvalAt(p, t)
+		evals++
+		if !k[0].IsFinite() {
+			return StepResult{Evals: evals}, ErrNonFinite
+		}
+		for i := 1; i < 7; i++ {
+			q := p
+			for j := 0; j < i; j++ {
+				if dpA[i][j] != 0 {
+					q = q.Add(k[j].Scale(h * dpA[i][j]))
+				}
+			}
+			k[i] = f.EvalAt(q, t+dpC[i]*h)
+			evals++
+			if !k[i].IsFinite() {
+				return StepResult{Evals: evals}, ErrNonFinite
+			}
+		}
+		var p5, p4 vec.V3
+		p5, p4 = p, p
+		for i := 0; i < 7; i++ {
+			if dpB5[i] != 0 {
+				p5 = p5.Add(k[i].Scale(h * dpB5[i]))
+			}
+			if dpB4[i] != 0 {
+				p4 = p4.Add(k[i].Scale(h * dpB4[i]))
+			}
+		}
+		errEst := p5.Dist(p4)
+		if errEst <= o.Tol || h <= o.HMin {
+			s.H = nextStep(h, errEst, o)
+			return StepResult{P: p5, T: t + h, Evals: evals, Accepted: true}, nil
+		}
+		s.H = nextStep(h, errEst, o)
+		if s.H >= h {
+			s.H = h / 2
+		}
+		if s.H < o.HMin {
+			s.H = o.HMin
+		}
+	}
+	s.H = o.HMin
+	v := f.EvalAt(p, t)
+	evals++
+	if !v.IsFinite() {
+		return StepResult{Evals: evals}, ErrNonFinite
+	}
+	return StepResult{P: p.Add(v.Scale(s.H)), T: t + s.H, Evals: evals, Accepted: true}, nil
+}
+
+// AdvectT integrates the non-autonomous system from (p, t) under the same
+// limits as Advect; MaxTime is the absolute time horizon.
+func (s *DoPri5) AdvectT(f TimeEvaluator, p vec.V3, t float64, lim AdvectLimits) AdvectResult {
+	res := AdvectResult{P: p, T: t}
+	for {
+		if lim.MaxSteps > 0 && res.Steps >= lim.MaxSteps {
+			res.Reason = StopMaxSteps
+			return res
+		}
+		if lim.MaxTime > 0 && res.T >= lim.MaxTime {
+			res.Reason = StopMaxTime
+			return res
+		}
+		if v := f.EvalAt(res.P, res.T); v.Norm() < s.Opts.MinSpeed {
+			res.Evals++
+			res.Reason = StopCritical
+			return res
+		}
+		res.Evals++
+		if lim.MaxTime > 0 && s.H > 0 {
+			if remain := lim.MaxTime - res.T; s.H > remain {
+				s.H = remain
+			}
+		}
+		step, err := s.StepT(f, res.P, res.T)
+		res.Evals += step.Evals
+		if err != nil {
+			res.Reason = StopError
+			return res
+		}
+		res.P = step.P
+		res.T = step.T
+		res.Steps++
+		res.Points = append(res.Points, step.P)
+		if !lim.Bounds.Contains(res.P) {
+			res.Reason = StopOutOfBlock
+			return res
+		}
+	}
+}
+
+// RK4 is a classical fixed-step fourth-order Runge–Kutta integrator, used
+// as a baseline in convergence tests.
+type RK4 struct{ H float64 }
+
+// Step advances one fixed step.
+func (r RK4) Step(f Evaluator, p vec.V3, t float64) (vec.V3, float64) {
+	h := r.H
+	k1 := f.Eval(p)
+	k2 := f.Eval(p.Add(k1.Scale(h / 2)))
+	k3 := f.Eval(p.Add(k2.Scale(h / 2)))
+	k4 := f.Eval(p.Add(k3.Scale(h)))
+	inc := k1.Add(k2.Scale(2)).Add(k3.Scale(2)).Add(k4).Scale(h / 6)
+	return p.Add(inc), t + h
+}
+
+// Euler is the first-order explicit Euler integrator, used as a baseline
+// in convergence tests.
+type Euler struct{ H float64 }
+
+// Step advances one fixed step.
+func (e Euler) Step(f Evaluator, p vec.V3, t float64) (vec.V3, float64) {
+	return p.Add(f.Eval(p).Scale(e.H)), t + e.H
+}

@@ -1,0 +1,262 @@
+// Package metrics collects the per-processor performance counters the
+// paper's evaluation reports: wall clock time, I/O time, communication
+// time, block loads/purges (block efficiency), plus supporting counters
+// used by the analysis (integration steps, bytes moved, peak memory).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProcStats accumulates counters for one simulated processor. All times
+// are virtual seconds.
+type ProcStats struct {
+	Proc int
+
+	ComputeTime float64 // time charged to streamline integration
+	IOTime      float64 // time blocked reading blocks
+	CommTime    float64 // time posting/handling sends and receives
+	IdleTime    float64 // time blocked waiting for work/messages
+	EndTime     float64 // virtual time when the processor finished
+
+	Steps        int64 // accepted integration steps
+	BlocksLoaded int64 // block reads from disk
+	BlocksPurged int64 // cache evictions
+	MsgsSent     int64
+	MsgsRecv     int64
+	BytesSent    int64
+	BytesRecv    int64
+
+	StreamlinesCompleted int64
+	PeakMemoryBytes      int64
+}
+
+// ObserveMemory records a memory high-water mark.
+func (s *ProcStats) ObserveMemory(bytes int64) {
+	if bytes > s.PeakMemoryBytes {
+		s.PeakMemoryBytes = bytes
+	}
+}
+
+// Collector owns the stats of all processors in one run.
+type Collector struct {
+	stats []ProcStats
+}
+
+// NewCollector creates a collector for n processors.
+func NewCollector(n int) *Collector {
+	c := &Collector{stats: make([]ProcStats, n)}
+	for i := range c.stats {
+		c.stats[i].Proc = i
+	}
+	return c
+}
+
+// P returns the mutable stats of processor i.
+func (c *Collector) P(i int) *ProcStats { return &c.stats[i] }
+
+// NumProcs returns the processor count.
+func (c *Collector) NumProcs() int { return len(c.stats) }
+
+// All returns a copy of every processor's stats, ordered by processor.
+func (c *Collector) All() []ProcStats {
+	out := make([]ProcStats, len(c.stats))
+	copy(out, c.stats)
+	return out
+}
+
+// Summary aggregates a run, matching the metrics reported in the paper's
+// Section 5.
+type Summary struct {
+	NumProcs int
+
+	WallClock    float64 // max processor end time: the paper's total run time
+	TotalIO      float64 // summed I/O time (Figures 6, 10, 14)
+	TotalComm    float64 // summed communication time (Figures 8, 11, 15)
+	TotalCompute float64
+	TotalIdle    float64
+
+	BlocksLoaded int64
+	BlocksPurged int64
+	// BlockEfficiency is E = (B_L - B_P) / B_L, Equation 2 of the paper
+	// (Figures 7, 12, 16). When nothing was loaded, E is 1.
+	BlockEfficiency float64
+
+	MsgsSent  int64
+	BytesSent int64
+
+	Steps                int64
+	StreamlinesCompleted int64
+	PeakMemoryBytes      int64 // max over processors
+
+	// Imbalance is max processor busy time over mean busy time; 1.0 is a
+	// perfectly balanced run. Busy = compute + I/O + comm.
+	Imbalance float64
+}
+
+// Aggregate computes the run summary.
+func (c *Collector) Aggregate() Summary {
+	s := Summary{NumProcs: len(c.stats)}
+	var busySum, busyMax float64
+	for i := range c.stats {
+		p := &c.stats[i]
+		if p.EndTime > s.WallClock {
+			s.WallClock = p.EndTime
+		}
+		s.TotalIO += p.IOTime
+		s.TotalComm += p.CommTime
+		s.TotalCompute += p.ComputeTime
+		s.TotalIdle += p.IdleTime
+		s.BlocksLoaded += p.BlocksLoaded
+		s.BlocksPurged += p.BlocksPurged
+		s.MsgsSent += p.MsgsSent
+		s.BytesSent += p.BytesSent
+		s.Steps += p.Steps
+		s.StreamlinesCompleted += p.StreamlinesCompleted
+		if p.PeakMemoryBytes > s.PeakMemoryBytes {
+			s.PeakMemoryBytes = p.PeakMemoryBytes
+		}
+		busy := p.ComputeTime + p.IOTime + p.CommTime
+		busySum += busy
+		if busy > busyMax {
+			busyMax = busy
+		}
+	}
+	s.BlockEfficiency = BlockEfficiency(s.BlocksLoaded, s.BlocksPurged)
+	if busySum > 0 && len(c.stats) > 0 {
+		mean := busySum / float64(len(c.stats))
+		if mean > 0 {
+			s.Imbalance = busyMax / mean
+		}
+	}
+	return s
+}
+
+// BlockEfficiency computes Equation 2 of the paper: E = (BL − BP)/BL.
+// With no loads the algorithm did ideal (no) I/O, reported as 1.
+func BlockEfficiency(loaded, purged int64) float64 {
+	if loaded == 0 {
+		return 1
+	}
+	return float64(loaded-purged) / float64(loaded)
+}
+
+// String renders a compact human-readable summary.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"procs=%d wall=%.3fs io=%.3fs comm=%.3fs compute=%.3fs E=%.3f loads=%d purges=%d msgs=%d bytes=%d steps=%d done=%d",
+		s.NumProcs, s.WallClock, s.TotalIO, s.TotalComm, s.TotalCompute,
+		s.BlockEfficiency, s.BlocksLoaded, s.BlocksPurged, s.MsgsSent,
+		s.BytesSent, s.Steps, s.StreamlinesCompleted)
+}
+
+// Table renders rows of (label, summary) pairs as an aligned text table
+// with one column per requested metric. Valid metric names: wall, io,
+// comm, efficiency, msgs, bytes, loads, purges, steps, imbalance.
+func Table(rows []TableRow, cols []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s", "run")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s", r.Label)
+		for _, c := range cols {
+			fmt.Fprintf(&b, "%14s", r.format(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TableRow is one labeled summary in a rendered table.
+type TableRow struct {
+	Label   string
+	Summary Summary
+	Err     error // a failed run (e.g. OOM) renders its error text
+}
+
+func (r TableRow) format(col string) string {
+	if r.Err != nil {
+		return errShort(r.Err)
+	}
+	s := r.Summary
+	switch col {
+	case "wall":
+		return fmt.Sprintf("%.3f", s.WallClock)
+	case "io":
+		return fmt.Sprintf("%.3f", s.TotalIO)
+	case "comm":
+		return fmt.Sprintf("%.3f", s.TotalComm)
+	case "compute":
+		return fmt.Sprintf("%.3f", s.TotalCompute)
+	case "efficiency":
+		return fmt.Sprintf("%.3f", s.BlockEfficiency)
+	case "msgs":
+		return fmt.Sprintf("%d", s.MsgsSent)
+	case "bytes":
+		return fmt.Sprintf("%d", s.BytesSent)
+	case "loads":
+		return fmt.Sprintf("%d", s.BlocksLoaded)
+	case "purges":
+		return fmt.Sprintf("%d", s.BlocksPurged)
+	case "steps":
+		return fmt.Sprintf("%d", s.Steps)
+	case "imbalance":
+		return fmt.Sprintf("%.2f", s.Imbalance)
+	default:
+		return "?"
+	}
+}
+
+func errShort(err error) string {
+	msg := err.Error()
+	if i := strings.IndexByte(msg, ':'); i > 0 && i < 12 {
+		msg = msg[:i]
+	}
+	if len(msg) > 12 {
+		msg = msg[:12]
+	}
+	return strings.ToUpper(msg)
+}
+
+// CSV renders rows as comma-separated values with a header, for plotting.
+func CSV(rows []TableRow, cols []string) string {
+	var b strings.Builder
+	b.WriteString("run")
+	for _, c := range cols {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(r.Label)
+		for _, c := range cols {
+			b.WriteByte(',')
+			b.WriteString(strings.TrimSpace(r.format(c)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TopProcsByBusy returns the n busiest processors, for load-imbalance
+// diagnostics.
+func (c *Collector) TopProcsByBusy(n int) []ProcStats {
+	all := c.All()
+	sort.Slice(all, func(i, j int) bool {
+		bi := all[i].ComputeTime + all[i].IOTime + all[i].CommTime
+		bj := all[j].ComputeTime + all[j].IOTime + all[j].CommTime
+		if bi != bj {
+			return bi > bj
+		}
+		return all[i].Proc < all[j].Proc
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	c := NewCollector(4)
+	if c.NumProcs() != 4 {
+		t.Fatalf("NumProcs = %d", c.NumProcs())
+	}
+	for i := 0; i < 4; i++ {
+		if c.P(i).Proc != i {
+			t.Errorf("proc %d mislabeled as %d", i, c.P(i).Proc)
+		}
+	}
+	c.P(2).IOTime = 5
+	if c.P(2).IOTime != 5 {
+		t.Error("P does not return mutable stats")
+	}
+	all := c.All()
+	all[2].IOTime = 99
+	if c.P(2).IOTime != 5 {
+		t.Error("All must return a copy")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	c := NewCollector(3)
+	c.P(0).EndTime = 10
+	c.P(1).EndTime = 15
+	c.P(2).EndTime = 12
+	c.P(0).IOTime = 1
+	c.P(1).IOTime = 2
+	c.P(0).CommTime = 0.5
+	c.P(2).ComputeTime = 3
+	c.P(0).BlocksLoaded = 10
+	c.P(1).BlocksLoaded = 10
+	c.P(1).BlocksPurged = 5
+	c.P(2).Steps = 100
+	c.P(0).MsgsSent = 3
+	c.P(0).BytesSent = 1000
+	c.P(1).StreamlinesCompleted = 7
+	c.P(2).PeakMemoryBytes = 5000
+	c.P(0).PeakMemoryBytes = 2000
+
+	s := c.Aggregate()
+	if s.WallClock != 15 {
+		t.Errorf("WallClock = %g", s.WallClock)
+	}
+	if s.TotalIO != 3 || s.TotalComm != 0.5 || s.TotalCompute != 3 {
+		t.Errorf("totals wrong: %+v", s)
+	}
+	if s.BlocksLoaded != 20 || s.BlocksPurged != 5 {
+		t.Errorf("block counts wrong: %+v", s)
+	}
+	if s.BlockEfficiency != 0.75 {
+		t.Errorf("E = %g, want 0.75", s.BlockEfficiency)
+	}
+	if s.Steps != 100 || s.MsgsSent != 3 || s.BytesSent != 1000 {
+		t.Errorf("counters wrong: %+v", s)
+	}
+	if s.StreamlinesCompleted != 7 {
+		t.Errorf("done = %d", s.StreamlinesCompleted)
+	}
+	if s.PeakMemoryBytes != 5000 {
+		t.Errorf("peak mem = %d", s.PeakMemoryBytes)
+	}
+	if s.NumProcs != 3 {
+		t.Errorf("NumProcs = %d", s.NumProcs)
+	}
+}
+
+func TestBlockEfficiency(t *testing.T) {
+	cases := []struct {
+		loaded, purged int64
+		want           float64
+	}{
+		{0, 0, 1},       // no I/O is ideal
+		{100, 0, 1},     // load once, never purge: Static Allocation
+		{100, 50, 0.5},  // half the loads were rereads
+		{100, 99, 0.01}, // thrashing
+	}
+	for _, c := range cases {
+		if got := BlockEfficiency(c.loaded, c.purged); got != c.want {
+			t.Errorf("E(%d,%d) = %g, want %g", c.loaded, c.purged, got, c.want)
+		}
+	}
+}
+
+func TestPropBlockEfficiencyRange(t *testing.T) {
+	f := func(loaded, purged uint16) bool {
+		l := int64(loaded)
+		p := int64(purged)
+		if p > l {
+			p = l
+		}
+		e := BlockEfficiency(l, p)
+		return e >= 0 && e <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	c := NewCollector(2)
+	c.P(0).ComputeTime = 10
+	c.P(1).ComputeTime = 0
+	s := c.Aggregate()
+	if s.Imbalance != 2 {
+		t.Errorf("Imbalance = %g, want 2 (one proc did all the work)", s.Imbalance)
+	}
+
+	c2 := NewCollector(2)
+	c2.P(0).ComputeTime = 5
+	c2.P(1).ComputeTime = 5
+	if got := c2.Aggregate().Imbalance; got != 1 {
+		t.Errorf("balanced Imbalance = %g, want 1", got)
+	}
+}
+
+func TestObserveMemory(t *testing.T) {
+	var p ProcStats
+	p.ObserveMemory(100)
+	p.ObserveMemory(50)
+	p.ObserveMemory(200)
+	if p.PeakMemoryBytes != 200 {
+		t.Errorf("peak = %d", p.PeakMemoryBytes)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	c := NewCollector(1)
+	c.P(0).EndTime = 1
+	s := c.Aggregate().String()
+	if !strings.Contains(s, "procs=1") || !strings.Contains(s, "wall=1.000") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	c := NewCollector(1)
+	c.P(0).EndTime = 2.5
+	c.P(0).IOTime = 0.25
+	rows := []TableRow{
+		{Label: "static/64", Summary: c.Aggregate()},
+		{Label: "failed/64", Err: errors.New("oom: processor 3")},
+	}
+	out := Table(rows, []string{"wall", "io", "efficiency"})
+	if !strings.Contains(out, "static/64") || !strings.Contains(out, "2.500") {
+		t.Errorf("table missing data:\n%s", out)
+	}
+	if !strings.Contains(out, "OOM") {
+		t.Errorf("table missing OOM marker:\n%s", out)
+	}
+	// Unknown column renders a placeholder, not a panic.
+	out = Table(rows[:1], []string{"bogus"})
+	if !strings.Contains(out, "?") {
+		t.Errorf("unknown column not flagged:\n%s", out)
+	}
+}
+
+func TestTableAllColumns(t *testing.T) {
+	c := NewCollector(1)
+	c.P(0).EndTime = 1
+	cols := []string{"wall", "io", "comm", "compute", "efficiency", "msgs", "bytes", "loads", "purges", "steps", "imbalance"}
+	out := Table([]TableRow{{Label: "x", Summary: c.Aggregate()}}, cols)
+	if strings.Contains(out, "?") {
+		t.Errorf("a known column rendered as unknown:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	c := NewCollector(1)
+	c.P(0).EndTime = 3
+	out := CSV([]TableRow{{Label: "hybrid/128", Summary: c.Aggregate()}}, []string{"wall"})
+	want := "run,wall\nhybrid/128,3.000\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestTopProcsByBusy(t *testing.T) {
+	c := NewCollector(3)
+	c.P(0).ComputeTime = 1
+	c.P(1).ComputeTime = 5
+	c.P(2).IOTime = 3
+	top := c.TopProcsByBusy(2)
+	if len(top) != 2 || top[0].Proc != 1 || top[1].Proc != 2 {
+		t.Errorf("top = %+v", top)
+	}
+	// Request beyond length clamps.
+	if got := len(c.TopProcsByBusy(10)); got != 3 {
+		t.Errorf("clamped top len = %d", got)
+	}
+}

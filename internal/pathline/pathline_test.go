@@ -1,0 +1,217 @@
+package pathline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/integrate"
+	"repro/internal/trace"
+	"repro/internal/vec"
+)
+
+var unitBox = vec.Box(vec.Of(0, 0, 0), vec.Of(1, 1, 1))
+
+// switchField flows +x before t=0.5 and +y after: pathlines bend,
+// streamlines (frozen at t=0) go straight.
+type switchField struct{}
+
+func (switchField) EvalAt(p vec.V3, t float64) vec.V3 {
+	if t < 0.5 {
+		return vec.Of(0.6, 0, 0)
+	}
+	return vec.Of(0, 0.6, 0)
+}
+func (switchField) Bounds() vec.AABB              { return unitBox }
+func (switchField) TimeRange() (float64, float64) { return 0, 1 }
+
+func unitSeries(t *testing.T, f UnsteadyField, nb, nt int) *Series {
+	t.Helper()
+	d := grid.NewDecomposition(f.Bounds(), nb, nb, nb, 8)
+	se, err := NewSeries(f, d, nt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return se
+}
+
+func TestNewSeriesValidation(t *testing.T) {
+	f := switchField{}
+	d := grid.NewDecomposition(unitBox, 2, 2, 2, 8)
+	if _, err := NewSeries(f, d, 1); err == nil {
+		t.Error("nt=1 accepted")
+	}
+	bad := d
+	bad.NX = 0
+	if _, err := NewSeries(f, bad, 4); err == nil {
+		t.Error("invalid decomposition accepted")
+	}
+}
+
+func TestSliceTimes(t *testing.T) {
+	se := unitSeries(t, switchField{}, 2, 5)
+	if se.SliceTime(0) != 0 || se.SliceTime(4) != 1 {
+		t.Errorf("slice times: %g..%g", se.SliceTime(0), se.SliceTime(4))
+	}
+	if got := se.SliceTime(2); got != 0.5 {
+		t.Errorf("mid slice time = %g", got)
+	}
+	if se.SliceOf(0) != 0 {
+		t.Errorf("SliceOf(0) = %d", se.SliceOf(0))
+	}
+	if se.SliceOf(0.6) != 2 {
+		t.Errorf("SliceOf(0.6) = %d", se.SliceOf(0.6))
+	}
+	// Clamps at the ends.
+	if se.SliceOf(-1) != 0 || se.SliceOf(2) != se.NT-2 {
+		t.Error("SliceOf does not clamp")
+	}
+}
+
+func TestPathlineBendsWhereStreamlineStraight(t *testing.T) {
+	se := unitSeries(t, switchField{}, 2, 5)
+	tr := NewTracer(se, integrate.Options{Tol: 1e-7, HMax: 0.02}, 0)
+	sl := tr.Trace(0, vec.Of(0.1, 0.1, 0.5), 0, 10000)
+	// Expected: +x for 0.5 time units (0.3), then +y until the data ends
+	// at t=1 (another 0.3).
+	want := vec.Of(0.4, 0.4, 0.5)
+	if sl.P.Dist(want) > 1e-3 {
+		t.Errorf("pathline ends at %v, want %v", sl.P, want)
+	}
+	if sl.Status != trace.MaxedOut {
+		t.Errorf("status = %v (should end with the data)", sl.Status)
+	}
+
+	// The frozen-time streamline goes straight out of the domain in +x.
+	steady := Steady{
+		Eval: func(p vec.V3) vec.V3 { return switchField{}.EvalAt(p, 0) },
+		Box:  unitBox, T0: 0, T1: 10,
+	}
+	se2 := unitSeries(t, steady, 2, 5)
+	tr2 := NewTracer(se2, integrate.Options{Tol: 1e-7, HMax: 0.02}, 0)
+	sl2 := tr2.Trace(0, vec.Of(0.1, 0.1, 0.5), 0, 10000)
+	if sl2.Status != trace.OutOfBounds {
+		t.Errorf("steady status = %v, want out-of-bounds", sl2.Status)
+	}
+	if math.Abs(sl2.P.Y-0.1) > 1e-6 {
+		t.Errorf("steady line drifted in y: %v", sl2.P)
+	}
+}
+
+func TestPathlineIOAccounting(t *testing.T) {
+	se := unitSeries(t, switchField{}, 2, 5)
+	tr := NewTracer(se, integrate.Options{Tol: 1e-6, HMax: 0.02}, 0)
+	sls := tr.TraceAll([]vec.V3{vec.Of(0.1, 0.1, 0.5), vec.Of(0.1, 0.2, 0.5)}, 0, 10000)
+	if tr.Loads == 0 {
+		t.Fatal("no loads recorded")
+	}
+	if tr.BytesLoaded != tr.Loads*se.D.BlockBytes() {
+		t.Errorf("bytes = %d, want loads × block bytes", tr.BytesLoaded)
+	}
+	// Pathlines need at least two time slices per visited block; the
+	// steady equivalent needs only one slice per block.
+	steadyLoads := StreamlineLoads(sls, se.D)
+	if tr.Loads < 2*steadyLoads {
+		t.Errorf("pathline loads %d not at least 2× steady loads %d", tr.Loads, steadyLoads)
+	}
+}
+
+func TestPathlineManySmallReads(t *testing.T) {
+	// The paper's §8 point: through a time-varying dataset, the same
+	// spatial block must be re-read for every time window the trajectory
+	// spends in it — many more reads than the steady case.
+	f := field.Rotation{Omega: 2 * math.Pi, Box: vec.Box(vec.Of(-1, -1, -1), vec.Of(1, 1, 1))}
+	unsteady := Steady{Eval: f.Eval, Box: f.Box, T0: 0, T1: 4}
+	d := grid.NewDecomposition(f.Box, 2, 2, 1, 8)
+	se, err := NewSeries(unsteady, d, 17) // 16 time windows
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(se, integrate.Options{Tol: 1e-6, HMax: 0.05}, 0)
+	sl := tr.Trace(0, vec.Of(0.5, 0, 0), 0, 100000)
+	steady := StreamlineLoads([]*trace.Streamline{sl}, d)
+	if steady != 4 {
+		t.Fatalf("circle should visit 4 blocks, got %d", steady)
+	}
+	// 16 windows × blocks visited per window ≫ 4.
+	if tr.Loads < 4*steady {
+		t.Errorf("pathline loads = %d, want ≫ steady %d", tr.Loads, steady)
+	}
+}
+
+func TestTracerLRUPurges(t *testing.T) {
+	f := field.Rotation{Omega: 2 * math.Pi, Box: vec.Box(vec.Of(-1, -1, -1), vec.Of(1, 1, 1))}
+	unsteady := Steady{Eval: f.Eval, Box: f.Box, T0: 0, T1: 4}
+	d := grid.NewDecomposition(f.Box, 2, 2, 1, 8)
+	se, _ := NewSeries(unsteady, d, 9)
+	unbounded := NewTracer(se, integrate.Options{Tol: 1e-6, HMax: 0.05}, 0)
+	unbounded.Trace(0, vec.Of(0.5, 0, 0), 0, 100000)
+	if unbounded.Purges != 0 {
+		t.Errorf("unbounded tracer purged %d", unbounded.Purges)
+	}
+
+	tight := NewTracer(se, integrate.Options{Tol: 1e-6, HMax: 0.05}, 2)
+	tight.Trace(0, vec.Of(0.5, 0, 0), 0, 100000)
+	if tight.Purges == 0 {
+		t.Error("tight cache never purged")
+	}
+	if tight.Loads <= unbounded.Loads {
+		t.Errorf("tight cache loads (%d) not above unbounded (%d)", tight.Loads, unbounded.Loads)
+	}
+}
+
+func TestTraceOutsideDomain(t *testing.T) {
+	se := unitSeries(t, switchField{}, 2, 3)
+	tr := NewTracer(se, integrate.Options{}, 0)
+	sl := tr.Trace(3, vec.Of(5, 5, 5), 0, 100)
+	if sl.Status != trace.OutOfBounds || len(sl.Points) != 1 {
+		t.Errorf("outside seed: %+v", sl)
+	}
+}
+
+func TestTraceMaxSteps(t *testing.T) {
+	se := unitSeries(t, switchField{}, 2, 3)
+	tr := NewTracer(se, integrate.Options{HMax: 0.001}, 0)
+	sl := tr.Trace(0, vec.Of(0.1, 0.1, 0.5), 0, 25)
+	if sl.Status != trace.MaxedOut || sl.Steps != 25 {
+		t.Errorf("maxed: status=%v steps=%d", sl.Status, sl.Steps)
+	}
+}
+
+func TestAdvectTMatchesAdvectOnSteadyField(t *testing.T) {
+	// On a steady field, the time-dependent solver must agree with the
+	// autonomous one.
+	f := field.DefaultABC()
+	lim := integrate.AdvectLimits{
+		Bounds:   vec.Box(vec.Of(-100, -100, -100), vec.Of(100, 100, 100)),
+		MaxSteps: 200,
+	}
+	sA := integrate.NewDoPri5(integrate.Options{Tol: 1e-7})
+	rA := sA.Advect(f, vec.Of(1, 1, 1), 0, lim)
+	sT := integrate.NewDoPri5(integrate.Options{Tol: 1e-7})
+	rT := sT.AdvectT(integrate.TimeEvalFunc(func(p vec.V3, _ float64) vec.V3 { return f.Eval(p) }),
+		vec.Of(1, 1, 1), 0, lim)
+	if rA.P.Dist(rT.P) > 1e-12 || rA.Steps != rT.Steps {
+		t.Errorf("AdvectT diverged: %v vs %v (%d vs %d steps)", rT.P, rA.P, rT.Steps, rA.Steps)
+	}
+}
+
+func TestAdvectTTimeDependentAccuracy(t *testing.T) {
+	// dx/dt = (t+0.5, 0, 0) has exact solution x(T) = T²/2 + T/2:
+	// verifies the solver samples stage times correctly (an autonomous
+	// solver frozen at window starts would get this wrong).
+	rhs := integrate.TimeEvalFunc(func(_ vec.V3, t float64) vec.V3 { return vec.Of(t+0.5, 0, 0) })
+	s := integrate.NewDoPri5(integrate.Options{Tol: 1e-9, HMax: 0.1})
+	res := s.AdvectT(rhs, vec.Of(0, 0, 0), 0, integrate.AdvectLimits{
+		Bounds:  vec.Box(vec.Of(-10, -10, -10), vec.Of(10, 10, 10)),
+		MaxTime: 2,
+	})
+	want := 3.0 // T²/2 + T/2 at T=2
+	if math.Abs(res.P.X-want) > 1e-7 {
+		t.Errorf("x(2) = %g, want %g", res.P.X, want)
+	}
+	if math.Abs(res.T-2) > 1e-12 {
+		t.Errorf("landed at t=%g, want exactly 2", res.T)
+	}
+}

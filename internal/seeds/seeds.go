@@ -1,0 +1,126 @@
+// Package seeds generates the seed-point sets of the paper's scenarios
+// (Section 3.1 "Seed Set Size" and "Seed Set Distribution"): sparse sets
+// spread across the whole domain and dense sets concentrated in a small
+// region, plus the 22,000-seed inlet circle used for the thermal
+// hydraulics stream-surface case (Section 5.3).
+//
+// All generators are deterministic given their seed argument.
+package seeds
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// SparseGrid places seeds on a regular n×n×n lattice inset slightly from
+// the domain boundary — the paper's "4,096 seed points evenly on a
+// 16x16x16 grid throughout the box".
+func SparseGrid(domain vec.AABB, n int) []vec.V3 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]vec.V3, 0, n*n*n)
+	size := domain.Size()
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				f := func(idx int) float64 { return (float64(idx) + 0.5) / float64(n) }
+				out = append(out, domain.Min.Add(size.Mul(vec.Of(f(i), f(j), f(k)))))
+			}
+		}
+	}
+	return out
+}
+
+// SparseRandom scatters n seeds uniformly over the domain.
+func SparseRandom(domain vec.AABB, n int, seed int64) []vec.V3 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]vec.V3, n)
+	size := domain.Size()
+	for i := range out {
+		out[i] = domain.Min.Add(size.Mul(vec.Of(rng.Float64(), rng.Float64(), rng.Float64())))
+	}
+	return out
+}
+
+// SparseInRegion scatters n seeds uniformly over the subset of the domain
+// where accept returns true (rejection sampling). It gives up after a
+// bounded number of attempts per seed to avoid hanging on tiny regions.
+func SparseInRegion(domain vec.AABB, n int, seed int64, accept func(vec.V3) bool) []vec.V3 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]vec.V3, 0, n)
+	size := domain.Size()
+	const maxTries = 10000
+	for len(out) < n {
+		placed := false
+		for try := 0; try < maxTries; try++ {
+			p := domain.Min.Add(size.Mul(vec.Of(rng.Float64(), rng.Float64(), rng.Float64())))
+			if accept(p) {
+				out = append(out, p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			break
+		}
+	}
+	return out
+}
+
+// DenseCluster places n seeds in a Gaussian ball of the given radius
+// (one standard deviation) around center, clamped to the domain.
+func DenseCluster(domain vec.AABB, center vec.V3, radius float64, n int, seed int64) []vec.V3 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]vec.V3, n)
+	for i := range out {
+		p := center.Add(vec.Of(
+			rng.NormFloat64()*radius,
+			rng.NormFloat64()*radius,
+			rng.NormFloat64()*radius,
+		))
+		out[i] = domain.Clamp(p)
+	}
+	return out
+}
+
+// Circle places n seeds evenly on a circle of the given radius around
+// center, lying in the plane perpendicular to normal — the stream-surface
+// seeding around an inlet ("22,000 streamlines in the shape of a circle
+// immediately around the inlet").
+func Circle(center, normal vec.V3, radius float64, n int) []vec.V3 {
+	nrm := normal.Normalized()
+	// Build an orthonormal basis {u, w} of the plane.
+	ref := vec.Of(1, 0, 0)
+	if math.Abs(nrm.X) > 0.9 {
+		ref = vec.Of(0, 1, 0)
+	}
+	u := nrm.Cross(ref).Normalized()
+	w := nrm.Cross(u).Normalized()
+	out := make([]vec.V3, n)
+	for i := range out {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		out[i] = center.
+			Add(u.Scale(radius * math.Cos(theta))).
+			Add(w.Scale(radius * math.Sin(theta)))
+	}
+	return out
+}
+
+// TorusRing places n seeds spread toroidally inside a torus of the given
+// major/minor radii about the z axis, at a fraction fr (0..1) of the
+// minor radius — seeds for the fusion dataset that wind around the core.
+func TorusRing(majorR, minorR, fr float64, n int, seed int64) []vec.V3 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]vec.V3, n)
+	for i := range out {
+		phi := 2 * math.Pi * float64(i) / float64(n)
+		theta := rng.Float64() * 2 * math.Pi
+		r := fr * minorR * math.Sqrt(rng.Float64())
+		rho := majorR + r*math.Cos(theta)
+		out[i] = vec.Of(rho*math.Cos(phi), rho*math.Sin(phi), r*math.Sin(theta))
+	}
+	return out
+}

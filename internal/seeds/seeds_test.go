@@ -1,0 +1,157 @@
+package seeds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/vec"
+)
+
+var unit = vec.Box(vec.Of(0, 0, 0), vec.Of(1, 1, 1))
+
+func TestSparseGridCountAndCoverage(t *testing.T) {
+	got := SparseGrid(unit, 16)
+	if len(got) != 4096 {
+		t.Fatalf("len = %d, want 4096 (the paper's 16^3 thermal seeding)", len(got))
+	}
+	box := vec.Box(got[0], got[0])
+	for _, p := range got {
+		if !unit.Contains(p) {
+			t.Fatalf("seed %v outside domain", p)
+		}
+		box = box.Union(vec.Box(p, p))
+	}
+	// Seeds must span most of the domain on every axis.
+	if s := box.Size(); s.X < 0.8 || s.Y < 0.8 || s.Z < 0.8 {
+		t.Errorf("grid seeds cover only %v", s)
+	}
+}
+
+func TestSparseGridEdgeCases(t *testing.T) {
+	if got := SparseGrid(unit, 0); got != nil {
+		t.Error("n=0 should return nil")
+	}
+	if got := SparseGrid(unit, 1); len(got) != 1 || got[0].Dist(vec.Of(0.5, 0.5, 0.5)) > 1e-12 {
+		t.Errorf("n=1 = %v", got)
+	}
+}
+
+func TestSparseRandomDeterministicAndInDomain(t *testing.T) {
+	a := SparseRandom(unit, 100, 5)
+	b := SparseRandom(unit, 100, 5)
+	c := SparseRandom(unit, 100, 6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different points")
+		}
+		if !unit.Contains(a[i]) {
+			t.Fatalf("point %v outside domain", a[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical points")
+	}
+}
+
+func TestSparseInRegion(t *testing.T) {
+	tok := field.DefaultTokamak()
+	pts := SparseInRegion(tok.Bounds(), 200, 9, tok.InsideTorus)
+	if len(pts) != 200 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !tok.InsideTorus(p) {
+			t.Fatalf("point %v outside torus", p)
+		}
+	}
+	// Impossible region gives up gracefully.
+	none := SparseInRegion(unit, 10, 9, func(vec.V3) bool { return false })
+	if len(none) != 0 {
+		t.Errorf("impossible region produced %d points", len(none))
+	}
+}
+
+func TestDenseClusterConcentration(t *testing.T) {
+	center := vec.Of(0.5, 0.5, 0.5)
+	pts := DenseCluster(unit, center, 0.05, 1000, 3)
+	if len(pts) != 1000 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	within3Sigma := 0
+	for _, p := range pts {
+		if !unit.Contains(p) {
+			t.Fatalf("point %v escaped the domain", p)
+		}
+		if p.Dist(center) < 0.15 {
+			within3Sigma++
+		}
+	}
+	if within3Sigma < 950 {
+		t.Errorf("only %d/1000 points within 3 sigma", within3Sigma)
+	}
+}
+
+func TestCircleGeometry(t *testing.T) {
+	center := vec.Of(0, 0.3, 0.5)
+	normal := vec.Of(1, 0, 0)
+	pts := Circle(center, normal, 0.1, 360)
+	if len(pts) != 360 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.Dist(center)-0.1) > 1e-12 {
+			t.Fatalf("point %v not at radius 0.1", p)
+		}
+		if math.Abs(p.Sub(center).Dot(normal)) > 1e-12 {
+			t.Fatalf("point %v not in the plane", p)
+		}
+	}
+	// Distinct points.
+	if pts[0].Dist(pts[180]) < 0.19 {
+		t.Error("opposite circle points too close")
+	}
+}
+
+func TestCircleDegenerateNormal(t *testing.T) {
+	// A normal along x exercises the alternate reference-vector branch.
+	ptsX := Circle(vec.Of(0, 0, 0), vec.Of(1, 0, 0), 1, 8)
+	ptsZ := Circle(vec.Of(0, 0, 0), vec.Of(0, 0, 1), 1, 8)
+	for _, pts := range [][]vec.V3{ptsX, ptsZ} {
+		for _, p := range pts {
+			if math.Abs(p.Norm()-1) > 1e-12 {
+				t.Fatalf("point %v off the unit circle", p)
+			}
+		}
+	}
+}
+
+func TestTorusRingInsideTorus(t *testing.T) {
+	tok := field.DefaultTokamak()
+	pts := TorusRing(tok.MajorRadius, tok.MinorRadius, 0.5, 500, 7)
+	if len(pts) != 500 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !tok.InsideTorus(p) {
+			t.Fatalf("seed %v outside the torus", p)
+		}
+	}
+	// Seeds spread around the full toroidal angle.
+	var minPhi, maxPhi = math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		phi := math.Atan2(p.Y, p.X)
+		minPhi = math.Min(minPhi, phi)
+		maxPhi = math.Max(maxPhi, phi)
+	}
+	if maxPhi-minPhi < math.Pi {
+		t.Errorf("seeds span only %g radians toroidally", maxPhi-minPhi)
+	}
+}

@@ -1,0 +1,347 @@
+// Package sim is a deterministic discrete-event simulator used to model a
+// distributed-memory cluster on a single machine.
+//
+// The paper ran on JaguarPF (a 149k-core Cray XT5) over MPI; no MPI
+// ecosystem exists here (see DESIGN.md §2), so each "processor" of the
+// parallel machine is a cooperatively scheduled process with a shared
+// virtual clock. All algorithm logic — message handling, work queues,
+// caches — executes for real; only the passage of time is simulated, with
+// explicit charges for computation, I/O and communication applied by the
+// layers above.
+//
+// Execution model: exactly one process runs at a time (sequential
+// coroutine scheduling), so the simulation is fully deterministic — the
+// same inputs produce the same event order, the same virtual timings and
+// the same results, which the property tests rely on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// event is a scheduled kernel callback.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Kernel owns the virtual clock, the event queue and all processes.
+// Construct with New; drive with Run. A Kernel is single-threaded: no
+// method may be called concurrently with Run except from within process
+// bodies.
+type Kernel struct {
+	now      float64
+	seq      int64
+	events   eventHeap
+	runnable []*Proc
+	procs    []*Proc
+	ctl      chan struct{}
+	running  bool
+}
+
+// New returns an empty kernel at virtual time 0.
+func New() *Kernel {
+	return &Kernel{ctl: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (k *Kernel) At(t float64, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (k *Kernel) After(d float64, fn func()) { k.At(k.now+d, fn) }
+
+// procKilled is the panic payload used to unwind processes that are still
+// blocked when the simulation ends.
+type procKilled struct{}
+
+// Proc is one simulated processor. Its body function runs on its own
+// goroutine but only ever executes while the kernel has handed it control,
+// so process code needs no locking.
+type Proc struct {
+	k       *Kernel
+	id      int
+	name    string
+	resume  chan struct{}
+	inbox   []any
+	waiting bool // blocked in Recv (so deliveries know to wake it)
+	blocked bool // blocked on any wake source
+	wakeSeq uint64
+	done    bool
+	killed  bool
+
+	idleStart float64
+	idleTotal float64
+	body      func(p *Proc)
+}
+
+// beginBlock marks the process blocked and returns a wake token. Every
+// wake source captures the token; a wake only fires if the token still
+// matches, so a process waiting on one thing (say, a disk queue slot) can
+// never be resumed early by another (say, a message delivery) — see
+// Kernel.wake.
+func (p *Proc) beginBlock() uint64 {
+	p.wakeSeq++
+	p.blocked = true
+	return p.wakeSeq
+}
+
+// wake resumes a process blocked with the matching token.
+func (k *Kernel) wake(p *Proc, seq uint64) {
+	if p.done || p.killed || !p.blocked || p.wakeSeq != seq {
+		return
+	}
+	p.blocked = false
+	k.runnable = append(k.runnable, p)
+}
+
+// Spawn registers a new process; its body starts running (at the current
+// virtual time) once Run reaches it. Spawning from inside a running
+// process is allowed.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		body:   body,
+	}
+	k.procs = append(k.procs, p)
+	k.runnable = append(k.runnable, p)
+	go p.run()
+	return p
+}
+
+func (p *Proc) run() {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procKilled); ok {
+				p.done = true
+				p.k.ctl <- struct{}{}
+				return
+			}
+			panic(r)
+		}
+	}()
+	p.body(p)
+	p.done = true
+	p.k.ctl <- struct{}{}
+}
+
+// ID returns the process index (dense from 0 in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.k.now }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// IdleTime returns the total virtual time this process has spent blocked
+// waiting for messages.
+func (p *Proc) IdleTime() float64 { return p.idleTotal }
+
+// yield hands control back to the kernel and blocks until resumed.
+func (p *Proc) yield() {
+	p.k.ctl <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Sleep advances this process's virtual time by d seconds (a compute, I/O
+// or communication charge). Non-positive durations return immediately.
+func (p *Proc) Sleep(d float64) {
+	if d <= 0 {
+		return
+	}
+	seq := p.beginBlock()
+	p.k.After(d, func() { p.k.wake(p, seq) })
+	p.yield()
+}
+
+// Send delivers msg to the inbox of process to after delay seconds.
+func (p *Proc) Send(to *Proc, msg any, delay float64) {
+	p.k.Deliver(to, msg, delay)
+}
+
+// Deliver schedules msg to arrive in the inbox of process to after delay
+// seconds. It may be called from process bodies or kernel callbacks.
+func (k *Kernel) Deliver(to *Proc, msg any, delay float64) {
+	k.After(delay, func() {
+		to.inbox = append(to.inbox, msg)
+		if to.waiting {
+			to.waiting = false
+			to.idleTotal += k.now - to.idleStart
+			k.wake(to, to.wakeSeq)
+		}
+	})
+}
+
+// Recv blocks until a message is available and returns the oldest one.
+func (p *Proc) Recv() any {
+	for len(p.inbox) == 0 {
+		p.waiting = true
+		p.idleStart = p.k.now
+		p.beginBlock()
+		p.yield()
+	}
+	msg := p.inbox[0]
+	p.inbox = p.inbox[1:]
+	return msg
+}
+
+// TryRecv returns the oldest pending message without blocking.
+func (p *Proc) TryRecv() (any, bool) {
+	if len(p.inbox) == 0 {
+		return nil, false
+	}
+	msg := p.inbox[0]
+	p.inbox = p.inbox[1:]
+	return msg, true
+}
+
+// Pending returns the number of queued messages without consuming them.
+func (p *Proc) Pending() int { return len(p.inbox) }
+
+// DeadlockError reports processes that were still blocked when the event
+// queue drained.
+type DeadlockError struct {
+	Stuck []string
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock, %d process(es) still blocked: %v", len(e.Stuck), e.Stuck)
+}
+
+// Run executes the simulation until every process has finished or no
+// further progress is possible. It returns a *DeadlockError if processes
+// remain blocked with an empty event queue; blocked processes are then
+// forcibly unwound so no goroutines leak.
+func (k *Kernel) Run() error {
+	if k.running {
+		return fmt.Errorf("sim: kernel already running")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	for {
+		if len(k.runnable) > 0 {
+			p := k.runnable[0]
+			k.runnable = k.runnable[1:]
+			if p.done || p.killed {
+				continue
+			}
+			p.resume <- struct{}{}
+			<-k.ctl
+			continue
+		}
+		if len(k.events) > 0 {
+			e := heap.Pop(&k.events).(*event)
+			if e.at > k.now {
+				k.now = e.at
+			}
+			e.fn()
+			continue
+		}
+		break
+	}
+
+	var stuck []string
+	for _, p := range k.procs {
+		if !p.done {
+			stuck = append(stuck, p.name)
+			p.killed = true
+			p.resume <- struct{}{}
+			<-k.ctl
+		}
+	}
+	if len(stuck) > 0 {
+		sort.Strings(stuck)
+		return &DeadlockError{Stuck: stuck}
+	}
+	return nil
+}
+
+// Resource is a FIFO-queued server with fixed capacity; it models
+// contended hardware such as a shared filesystem's I/O servers. Acquire
+// blocks (in virtual time) until a slot is free.
+type Resource struct {
+	k        *Kernel
+	capacity int
+	inUse    int
+	queue    []resourceWaiter
+}
+
+type resourceWaiter struct {
+	p   *Proc
+	seq uint64
+}
+
+// NewResource creates a resource with the given concurrency capacity.
+func NewResource(k *Kernel, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{k: k, capacity: capacity}
+}
+
+// Acquire blocks p until a slot is available.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	p.idleStart = p.k.now
+	seq := p.beginBlock()
+	r.queue = append(r.queue, resourceWaiter{p: p, seq: seq})
+	p.yield()
+}
+
+// Release frees one slot and wakes the next waiter, if any.
+func (r *Resource) Release() {
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		next.p.idleTotal += r.k.now - next.p.idleStart
+		r.k.wake(next.p, next.seq)
+		return
+	}
+	r.inUse--
+}
+
+// InUse returns the number of occupied slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting for a slot.
+func (r *Resource) QueueLen() int { return len(r.queue) }

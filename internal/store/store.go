@@ -1,0 +1,231 @@
+// Package store models the storage hierarchy of the parallel machine: a
+// (possibly shared) disk holding the block-decomposed dataset, and a
+// per-processor LRU block cache with load/purge accounting.
+//
+// The paper's machines read blocks from a parallel filesystem; here a
+// DiskModel charges virtual I/O time per read (latency + size/bandwidth),
+// optionally serialized through a shared sim.Resource to model filesystem
+// contention. The LRU cache implements exactly the policy described in
+// Section 4.2: "old blocks are discarded if available main memory is
+// insufficient to accommodate new blocks".
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// DiskModel describes block-read costs.
+type DiskModel struct {
+	LatencySec        float64
+	BandwidthBytesSec float64
+	// Shared, when non-nil, serializes transfers through a fixed number
+	// of I/O servers, so aggregate bandwidth is bounded regardless of
+	// processor count.
+	Shared *sim.Resource
+}
+
+// DefaultDisk returns a disk model loosely calibrated to the paper's era:
+// ~10 ms access latency and 500 MB/s per-stream bandwidth.
+func DefaultDisk() DiskModel {
+	return DiskModel{LatencySec: 0.01, BandwidthBytesSec: 500e6}
+}
+
+// ReadTime returns the uncontended time to read one object of the given
+// size.
+func (d DiskModel) ReadTime(bytes int64) float64 {
+	t := d.LatencySec
+	if d.BandwidthBytesSec > 0 {
+		t += float64(bytes) / d.BandwidthBytesSec
+	}
+	return t
+}
+
+// Read charges proc the I/O cost of reading bytes, honoring shared-disk
+// contention, and records it in stats.
+func (d DiskModel) Read(p *sim.Proc, bytes int64, stats *metrics.ProcStats) {
+	start := p.Now()
+	if d.Shared != nil {
+		d.Shared.Acquire(p)
+		p.Sleep(d.ReadTime(bytes))
+		d.Shared.Release()
+	} else {
+		p.Sleep(d.ReadTime(bytes))
+	}
+	if stats != nil {
+		stats.IOTime += p.Now() - start
+	}
+}
+
+// OOMError reports that a processor exceeded its memory budget, the
+// failure mode the paper observes for Static Allocation with dense seeds
+// (Section 5.3).
+type OOMError struct {
+	Proc        int
+	NeededBytes int64
+	BudgetBytes int64
+	What        string
+}
+
+// Error implements error.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("oom: processor %d needs %d bytes for %s, budget %d",
+		e.Proc, e.NeededBytes, e.What, e.BudgetBytes)
+}
+
+// Cache is a per-processor LRU block cache. Loading a block charges
+// simulated I/O time; exceeding capacity purges the least recently used
+// block (counted toward block efficiency).
+type Cache struct {
+	proc     *sim.Proc
+	provider grid.Provider
+	disk     DiskModel
+	stats    *metrics.ProcStats
+	capacity int // max resident blocks; <= 0 means unbounded
+
+	entries map[grid.BlockID]*entry
+	head    *entry // most recently used
+	tail    *entry // least recently used
+	pinned  map[grid.BlockID]bool
+}
+
+type entry struct {
+	id         grid.BlockID
+	eval       grid.Evaluator
+	prev, next *entry
+}
+
+// NewCache creates a cache for proc over provider with the given capacity
+// in blocks (<= 0 for unbounded).
+func NewCache(proc *sim.Proc, provider grid.Provider, disk DiskModel, capacity int, stats *metrics.ProcStats) *Cache {
+	return &Cache{
+		proc:     proc,
+		provider: provider,
+		disk:     disk,
+		stats:    stats,
+		capacity: capacity,
+		entries:  make(map[grid.BlockID]*entry),
+		pinned:   make(map[grid.BlockID]bool),
+	}
+}
+
+// Capacity returns the configured block capacity (<= 0 for unbounded).
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of resident blocks.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Has reports whether block id is resident (without touching recency).
+func (c *Cache) Has(id grid.BlockID) bool {
+	_, ok := c.entries[id]
+	return ok
+}
+
+// Loaded returns the resident block IDs in most-recently-used order.
+func (c *Cache) Loaded() []grid.BlockID {
+	out := make([]grid.BlockID, 0, len(c.entries))
+	for e := c.head; e != nil; e = e.next {
+		out = append(out, e.id)
+	}
+	return out
+}
+
+// Pin marks a block as non-evictable (Static Allocation pins its owned
+// blocks, which is why its block efficiency is ideal).
+func (c *Cache) Pin(id grid.BlockID) { c.pinned[id] = true }
+
+// TryGet returns the evaluator for block id only if it is resident,
+// refreshing its recency. It never performs I/O: work loops use it to
+// advance streamlines in already-loaded blocks ("integrate all streamlines
+// to the edge of the loaded blocks", Section 4.2).
+func (c *Cache) TryGet(id grid.BlockID) (grid.Evaluator, bool) {
+	e, ok := c.entries[id]
+	if !ok {
+		return nil, false
+	}
+	c.touch(e)
+	return e.eval, true
+}
+
+// Get returns an evaluator for block id, reading it from disk if absent.
+// Reads charge I/O time; insertion beyond capacity purges the least
+// recently used unpinned block.
+func (c *Cache) Get(id grid.BlockID) grid.Evaluator {
+	if e, ok := c.entries[id]; ok {
+		c.touch(e)
+		return e.eval
+	}
+	// Miss: read from disk.
+	c.disk.Read(c.proc, c.provider.Decomp().BlockBytes(), c.stats)
+	if c.stats != nil {
+		c.stats.BlocksLoaded++
+	}
+	e := &entry{id: id, eval: c.provider.Block(id)}
+	c.entries[id] = e
+	c.pushFront(e)
+	c.evictOver()
+	return e.eval
+}
+
+// ResidentBytes returns the simulated memory held by resident blocks.
+func (c *Cache) ResidentBytes() int64 {
+	return int64(len(c.entries)) * c.provider.Decomp().BlockBytes()
+}
+
+// evictOver purges LRU unpinned entries until within capacity.
+func (c *Cache) evictOver() {
+	if c.capacity <= 0 {
+		return
+	}
+	for len(c.entries) > c.capacity {
+		victim := c.tail
+		for victim != nil && c.pinned[victim.id] {
+			victim = victim.prev
+		}
+		if victim == nil {
+			return // everything pinned; allow overflow rather than deadlock
+		}
+		c.remove(victim)
+		delete(c.entries, victim.id)
+		if c.stats != nil {
+			c.stats.BlocksPurged++
+		}
+	}
+}
+
+func (c *Cache) touch(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.remove(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

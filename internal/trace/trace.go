@@ -1,0 +1,212 @@
+// Package trace defines the streamline objects that flow through the
+// parallel algorithms: current integration state (position, time, solver
+// step size), accumulated geometry, and status.
+//
+// Streamlines are what Static Allocation and the Hybrid algorithm
+// communicate between processors, so the package also provides a binary
+// wire encoding and the byte-size model used by the communication-time
+// metric. Two sizes matter (paper §8): the full record including geometry,
+// and the compact "solver state only" form proposed as future work.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/vec"
+)
+
+// Status describes a streamline's lifecycle.
+type Status int
+
+// Streamline lifecycle states.
+const (
+	Active      Status = iota // still integrating
+	OutOfBounds               // left the global domain
+	MaxedOut                  // reached the step or time budget
+	AtCritical                // terminated at a critical point (zero velocity)
+	Failed                    // field error
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case OutOfBounds:
+		return "out-of-bounds"
+	case MaxedOut:
+		return "maxed-out"
+	case AtCritical:
+		return "critical"
+	case Failed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminated reports whether the streamline is finished.
+func (s Status) Terminated() bool { return s != Active }
+
+// PointBytes is the simulated wire/memory footprint of one geometry
+// vertex. Paper-era pipelines (VisIt's avtIntegralCurve) carry more than
+// the bare position: double-precision position (24), integration time
+// (8), a sampled scalar such as speed (8), plus per-point bookkeeping —
+// 48 bytes in total.
+const PointBytes = 48
+
+// StateBytes is the simulated size of the solver state alone: id,
+// position, time, step size, status, block (the paper §8's compact form).
+const StateBytes = 64
+
+// Streamline is one integral curve in flight.
+type Streamline struct {
+	ID   int
+	Seed vec.V3
+
+	// Integration state.
+	P     vec.V3  // current position
+	T     float64 // integration time
+	H     float64 // adaptive solver step size (carried across handoffs)
+	Steps int     // accepted steps so far
+
+	Status Status
+	Block  grid.BlockID // block containing P (NoBlock when terminated out of bounds)
+
+	// Points is the accumulated geometry, starting with the seed.
+	Points []vec.V3
+}
+
+// New creates an active streamline at seed, located in block.
+func New(id int, seed vec.V3, block grid.BlockID) *Streamline {
+	return &Streamline{
+		ID:     id,
+		Seed:   seed,
+		P:      seed,
+		Block:  block,
+		Points: []vec.V3{seed},
+	}
+}
+
+// Append extends the geometry with points (positions after each accepted
+// step) and moves the head to the last one.
+func (s *Streamline) Append(points []vec.V3) {
+	if len(points) == 0 {
+		return
+	}
+	s.Points = append(s.Points, points...)
+	s.P = points[len(points)-1]
+}
+
+// GeometryBytes returns the simulated size of the accumulated geometry.
+func (s *Streamline) GeometryBytes() int64 {
+	return int64(len(s.Points)) * PointBytes
+}
+
+// WireBytes returns the simulated size of communicating this streamline.
+// With geometry=false only the solver state is sent (paper §8).
+func (s *Streamline) WireBytes(geometry bool) int64 {
+	if !geometry {
+		return StateBytes
+	}
+	return StateBytes + s.GeometryBytes()
+}
+
+// MemoryBytes returns the simulated resident memory of this streamline on
+// a processor (geometry dominates).
+func (s *Streamline) MemoryBytes() int64 { return StateBytes + s.GeometryBytes() }
+
+// ArcLength returns the polyline length of the geometry.
+func (s *Streamline) ArcLength() float64 {
+	total := 0.0
+	for i := 1; i < len(s.Points); i++ {
+		total += s.Points[i].Dist(s.Points[i-1])
+	}
+	return total
+}
+
+// Clone returns a deep copy.
+func (s *Streamline) Clone() *Streamline {
+	c := *s
+	c.Points = append([]vec.V3(nil), s.Points...)
+	return &c
+}
+
+// String implements fmt.Stringer.
+func (s *Streamline) String() string {
+	return fmt.Sprintf("streamline %d: %s, %d pts, block %d, t=%.4g",
+		s.ID, s.Status, len(s.Points), s.Block, s.T)
+}
+
+// Marshal encodes the streamline (with geometry) to a compact binary
+// form, suitable for spilling results to disk or checking wire sizes.
+func (s *Streamline) Marshal() []byte {
+	buf := make([]byte, 0, 8*8+len(s.Points)*24)
+	put := func(f float64) {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
+		buf = append(buf, tmp[:]...)
+	}
+	putInt := func(v int64) {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+		buf = append(buf, tmp[:]...)
+	}
+	putInt(int64(s.ID))
+	put(s.Seed.X)
+	put(s.Seed.Y)
+	put(s.Seed.Z)
+	put(s.T)
+	put(s.H)
+	putInt(int64(s.Steps))
+	putInt(int64(s.Status))
+	putInt(int64(s.Block))
+	putInt(int64(len(s.Points)))
+	for _, p := range s.Points {
+		put(p.X)
+		put(p.Y)
+		put(p.Z)
+	}
+	return buf
+}
+
+// Unmarshal decodes a streamline encoded by Marshal.
+func Unmarshal(data []byte) (*Streamline, error) {
+	const word = 8
+	need := 10 * word
+	if len(data) < need {
+		return nil, fmt.Errorf("trace: short buffer (%d bytes)", len(data))
+	}
+	at := 0
+	getU := func() uint64 {
+		v := binary.LittleEndian.Uint64(data[at:])
+		at += word
+		return v
+	}
+	getF := func() float64 { return math.Float64frombits(getU()) }
+	s := &Streamline{}
+	s.ID = int(int64(getU()))
+	s.Seed = vec.Of(getF(), getF(), getF())
+	s.T = getF()
+	s.H = getF()
+	s.Steps = int(int64(getU()))
+	s.Status = Status(int64(getU()))
+	s.Block = grid.BlockID(int64(getU()))
+	n := int(int64(getU()))
+	if n < 0 || len(data)-at < n*3*word {
+		return nil, fmt.Errorf("trace: corrupt point count %d", n)
+	}
+	s.Points = make([]vec.V3, n)
+	for i := 0; i < n; i++ {
+		s.Points[i] = vec.Of(getF(), getF(), getF())
+	}
+	if n > 0 {
+		s.P = s.Points[n-1]
+	} else {
+		s.P = s.Seed
+	}
+	return s, nil
+}

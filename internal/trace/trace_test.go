@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/vec"
+)
+
+func TestNewStreamline(t *testing.T) {
+	s := New(7, vec.Of(1, 2, 3), grid.BlockID(4))
+	if s.ID != 7 || s.Seed != vec.Of(1, 2, 3) || s.Block != 4 {
+		t.Errorf("fields wrong: %+v", s)
+	}
+	if s.P != s.Seed {
+		t.Error("head must start at seed")
+	}
+	if len(s.Points) != 1 || s.Points[0] != s.Seed {
+		t.Error("geometry must start with seed")
+	}
+	if s.Status != Active {
+		t.Errorf("Status = %v", s.Status)
+	}
+}
+
+func TestAppendMovesHead(t *testing.T) {
+	s := New(0, vec.Of(0, 0, 0), 0)
+	s.Append([]vec.V3{vec.Of(1, 0, 0), vec.Of(2, 0, 0)})
+	if s.P != vec.Of(2, 0, 0) {
+		t.Errorf("P = %v", s.P)
+	}
+	if len(s.Points) != 3 {
+		t.Errorf("points = %d", len(s.Points))
+	}
+	// Empty append is a no-op.
+	s.Append(nil)
+	if s.P != vec.Of(2, 0, 0) || len(s.Points) != 3 {
+		t.Error("empty Append changed state")
+	}
+}
+
+func TestByteSizes(t *testing.T) {
+	s := New(0, vec.Of(0, 0, 0), 0)
+	s.Append([]vec.V3{vec.Of(1, 0, 0), vec.Of(2, 0, 0), vec.Of(3, 0, 0)})
+	if got := s.GeometryBytes(); got != 4*PointBytes {
+		t.Errorf("GeometryBytes = %d", got)
+	}
+	if got := s.WireBytes(false); got != StateBytes {
+		t.Errorf("state-only WireBytes = %d", got)
+	}
+	if got := s.WireBytes(true); got != StateBytes+4*PointBytes {
+		t.Errorf("full WireBytes = %d", got)
+	}
+	if s.MemoryBytes() != StateBytes+4*PointBytes {
+		t.Errorf("MemoryBytes = %d", s.MemoryBytes())
+	}
+	// Geometry grows memory: the effect behind the Static Allocation OOM.
+	before := s.MemoryBytes()
+	s.Append([]vec.V3{vec.Of(4, 0, 0)})
+	if s.MemoryBytes() <= before {
+		t.Error("memory did not grow with geometry")
+	}
+}
+
+func TestArcLength(t *testing.T) {
+	s := New(0, vec.Of(0, 0, 0), 0)
+	s.Append([]vec.V3{vec.Of(1, 0, 0), vec.Of(1, 1, 0)})
+	if got := s.ArcLength(); got != 2 {
+		t.Errorf("ArcLength = %g", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := New(1, vec.Of(0, 0, 0), 2)
+	s.Append([]vec.V3{vec.Of(1, 1, 1)})
+	c := s.Clone()
+	c.Append([]vec.V3{vec.Of(2, 2, 2)})
+	c.Status = OutOfBounds
+	if len(s.Points) != 2 || s.Status != Active {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestStatusStringsAndTerminated(t *testing.T) {
+	cases := []struct {
+		s    Status
+		term bool
+	}{
+		{Active, false},
+		{OutOfBounds, true},
+		{MaxedOut, true},
+		{AtCritical, true},
+		{Failed, true},
+	}
+	for _, c := range cases {
+		if c.s.String() == "" || c.s.String() == "unknown" {
+			t.Errorf("bad string for %d", int(c.s))
+		}
+		if c.s.Terminated() != c.term {
+			t.Errorf("Terminated(%v) = %v", c.s, c.s.Terminated())
+		}
+	}
+	if Status(42).String() != "unknown" {
+		t.Error("unknown status must say so")
+	}
+}
+
+func TestStreamlineString(t *testing.T) {
+	s := New(3, vec.Of(0, 0, 0), 5)
+	str := s.String()
+	if !strings.Contains(str, "streamline 3") || !strings.Contains(str, "active") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := New(42, vec.Of(0.5, -1.25, 3), grid.BlockID(17))
+	s.Append([]vec.V3{vec.Of(1, 2, 3), vec.Of(4, 5, 6)})
+	s.T = 1.5
+	s.H = 0.01
+	s.Steps = 2
+	s.Status = MaxedOut
+
+	data := s.Marshal()
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != s.ID || got.Seed != s.Seed || got.T != s.T || got.H != s.H ||
+		got.Steps != s.Steps || got.Status != s.Status || got.Block != s.Block {
+		t.Errorf("state mismatch: %+v vs %+v", got, s)
+	}
+	if len(got.Points) != len(s.Points) {
+		t.Fatalf("points = %d, want %d", len(got.Points), len(s.Points))
+	}
+	for i := range s.Points {
+		if got.Points[i] != s.Points[i] {
+			t.Errorf("point %d: %v vs %v", i, got.Points[i], s.Points[i])
+		}
+	}
+	if got.P != s.P {
+		t.Errorf("head not restored: %v vs %v", got.P, s.P)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil buffer accepted")
+	}
+	if _, err := Unmarshal(make([]byte, 16)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	// Corrupt point count: claims many points but buffer ends.
+	s := New(1, vec.Of(0, 0, 0), 0)
+	data := s.Marshal()
+	data[9*8] = 0xFF // inflate point count
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("corrupt point count accepted")
+	}
+}
+
+func TestPropMarshalRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 100; i++ {
+		s := New(rng.Intn(100000), vec.Of(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()), grid.BlockID(rng.Intn(512)))
+		n := rng.Intn(50)
+		pts := make([]vec.V3, n)
+		for j := range pts {
+			pts[j] = vec.Of(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		}
+		s.Append(pts)
+		s.T = rng.Float64()
+		s.H = rng.Float64()
+		s.Status = Status(rng.Intn(5))
+		got, err := Unmarshal(s.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != s.String() || got.P != s.P || len(got.Points) != len(s.Points) {
+			t.Fatalf("round trip mismatch at case %d", i)
+		}
+	}
+}
