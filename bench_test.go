@@ -10,6 +10,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
@@ -267,6 +268,27 @@ func BenchmarkAblationSharedDisk(b *testing.B) {
 			}
 			b.ReportMetric(s.WallClock, "vwall-s")
 			b.ReportMetric(s.TotalIO, "vio-s")
+		})
+	}
+}
+
+// BenchmarkCampaignWorkers measures the host-parallel campaign engine:
+// the full 36-cell small-scale evaluation executed serially (j1) versus
+// one worker per CPU core (jN). Real time is the metric here — the
+// simulated results are bit-identical by construction (see
+// experiments.TestParallelCampaignMatchesSerial).
+func BenchmarkCampaignWorkers(b *testing.B) {
+	sc := experiments.SmallScale()
+	// One proc count keeps a single benchmark iteration tractable while
+	// still exercising every dataset, seeding and algorithm.
+	sc.ProcCounts = []int{sc.ProcCounts[len(sc.ProcCounts)/2]}
+	for _, j := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := experiments.NewCampaign(sc)
+				c.Workers = j
+				c.RunAll()
+			}
 		})
 	}
 }

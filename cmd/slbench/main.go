@@ -1,7 +1,9 @@
 // Command slbench regenerates the paper's evaluation (Figures 5–16): for
 // each figure it runs the full sweep — dataset × {sparse, dense} seeding ×
 // {static, ondemand, hybrid} × processor counts — on the simulated
-// cluster and prints the figure's metric as a table (or CSV).
+// cluster and prints the figure's metric as a table (or CSV). Sweep cells
+// are independent simulations, so they execute concurrently on a worker
+// pool sized by -j (one worker per CPU core by default).
 //
 // Usage:
 //
@@ -10,11 +12,14 @@
 //	slbench -scale paper          # full paper-sized configuration (slow)
 //	slbench -dataset fusion -csv  # fusion figures as CSV
 //	slbench -shapes               # also check the paper's qualitative claims
+//	slbench -j 1                  # serial execution (same tables, slower)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,59 +28,83 @@ import (
 )
 
 func main() {
-	var (
-		scaleName = flag.String("scale", "default", "campaign scale: small, default, or paper")
-		figureID  = flag.Int("figure", 0, "run a single figure (5-16); 0 means all")
-		dataset   = flag.String("dataset", "", "restrict to one dataset: astro, fusion, thermal")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		verbose   = flag.Bool("v", false, "log every run as it completes")
-		shapes    = flag.Bool("shapes", false, "verify the paper's qualitative claims and report")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var sc experiments.Scale
-	switch *scaleName {
-	case "small":
-		sc = experiments.SmallScale()
-	case "default":
-		sc = experiments.DefaultScale()
-	case "paper":
-		sc = experiments.PaperScale()
-	default:
-		fmt.Fprintf(os.Stderr, "slbench: unknown scale %q\n", *scaleName)
-		os.Exit(2)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scaleName = fs.String("scale", "default", "campaign scale: small, default, or paper")
+		figureID  = fs.Int("figure", 0, "run a single figure (5-16); 0 means all")
+		dataset   = fs.String("dataset", "", "restrict to one dataset: astro, fusion, thermal")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		verbose   = fs.Bool("v", false, "log every run as it completes")
+		shapes    = fs.Bool("shapes", false, "verify the paper's qualitative claims and report")
+		jobs      = fs.Int("j", 0, "sweep cells to run concurrently; 0 means one per CPU core")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	sc, ok := experiments.ScaleByName(*scaleName)
+	if !ok {
+		fmt.Fprintf(stderr, "slbench: unknown scale %q\n", *scaleName)
+		return 2
 	}
 
 	c := experiments.NewCampaign(sc)
+	c.Workers = *jobs
 	if *verbose {
-		c.Log = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		c.Log = func(s string) { fmt.Fprintln(stderr, s) }
 	}
 
 	figs := experiments.Figures()
 	if *figureID != 0 {
 		fig, ok := experiments.FigureByID(*figureID)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "slbench: no figure %d (valid: 5-16)\n", *figureID)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "slbench: no figure %d (valid: 5-16)\n", *figureID)
+			return 2
 		}
 		figs = []experiments.Figure{fig}
 	}
+	var selected []experiments.Figure
 	for _, fig := range figs {
 		if *dataset != "" && string(fig.Dataset) != *dataset {
 			continue
 		}
+		selected = append(selected, fig)
+	}
+
+	// Execute the whole selection as one batch so the pool stays full
+	// across figure boundaries, then print in figure order.
+	var keys []experiments.Key
+	for _, fig := range selected {
+		keys = append(keys, c.FigureKeys(fig)...)
+	}
+	if *shapes {
+		// The qualitative checks compare every dataset at the top
+		// processor count; fold those cells into the same batch.
+		keys = append(keys, experiments.ShapeKeys(c)...)
+	}
+	c.RunKeys(keys)
+
+	for _, fig := range selected {
 		if *csv {
 			rows := c.FigureRows(fig)
-			fmt.Printf("# Figure %d — %s\n%s\n", fig.ID, fig.Title,
+			fmt.Fprintf(stdout, "# Figure %d — %s\n%s\n", fig.ID, fig.Title,
 				metrics.CSV(rows, []string{fig.Metric}))
 		} else {
-			fmt.Println(c.FigureTable(fig))
+			fmt.Fprintln(stdout, c.FigureTable(fig))
 		}
 	}
 
 	if *shapes {
 		report := experiments.CheckShapes(c)
-		fmt.Println("Qualitative shape checks (paper Section 5):")
+		fmt.Fprintln(stdout, "Qualitative shape checks (paper Section 5):")
 		failed := 0
 		for _, r := range report {
 			status := "PASS"
@@ -83,17 +112,18 @@ func main() {
 				status = "FAIL"
 				failed++
 			}
-			fmt.Printf("  [%s] %s\n", status, r.Claim)
+			fmt.Fprintf(stdout, "  [%s] %s\n", status, r.Claim)
 			if r.Detail != "" {
-				fmt.Printf("         %s\n", r.Detail)
+				fmt.Fprintf(stdout, "         %s\n", r.Detail)
 			}
 		}
 		if failed > 0 {
-			fmt.Printf("%d/%d checks failed\n", failed, len(report))
+			fmt.Fprintf(stdout, "%d/%d checks failed\n", failed, len(report))
 			if !strings.Contains(sc.Name, "paper") {
-				fmt.Println("(some claims only manifest at larger scales; try -scale paper)")
+				fmt.Fprintln(stdout, "(some claims only manifest at larger scales; try -scale paper)")
 			}
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "bogus"},
+		{"-figure", "99"},
+		{"-nosuchflag"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errw); code != 0 {
+		t.Errorf("run(-h) = %d, want 0", code)
+	}
+	if !strings.Contains(errw.String(), "-scale") {
+		t.Errorf("usage text missing from -h output:\n%s", errw.String())
+	}
+}
+
+func TestRunSingleFigureSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-scale", "small", "-figure", "5", "-j", "4"}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"Figure 5", "astro/sparse/static/8", "astro/dense/hybrid/32"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-scale", "small", "-figure", "9", "-dataset", "fusion", "-csv", "-j", "4"}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "# Figure 9") || !strings.Contains(got, "fusion/sparse/ondemand/8") {
+		t.Errorf("CSV output unexpected:\n%s", got)
+	}
+}
+
+// TestRunParallelMatchesSerialOutput is the acceptance check at the CLI
+// layer: -j 8 must emit tables byte-identical to -j 1.
+func TestRunParallelMatchesSerialOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	var serial, parallel, errw bytes.Buffer
+	if code := run([]string{"-scale", "small", "-figure", "7", "-j", "1"}, &serial, &errw); code != 0 {
+		t.Fatalf("serial run = %d, stderr: %s", code, errw.String())
+	}
+	if code := run([]string{"-scale", "small", "-figure", "7", "-j", "8"}, &parallel, &errw); code != 0 {
+		t.Fatalf("parallel run = %d, stderr: %s", code, errw.String())
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-j 8 output differs from -j 1:\n--- j=1 ---\n%s\n--- j=8 ---\n%s",
+			serial.String(), parallel.String())
+	}
+}

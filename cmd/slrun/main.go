@@ -1,86 +1,180 @@
 // Command slrun executes a single streamline computation on the simulated
 // cluster and reports its metrics — the one-experiment counterpart to
-// slbench's full sweep.
+// slbench's full sweep. -procs also accepts a comma-separated list; the
+// sweep then runs its cells concurrently (-j workers, one per CPU core by
+// default) and prints one summary line per processor count.
 //
 // Usage:
 //
 //	slrun -dataset astro -seeding sparse -alg hybrid -procs 128
 //	slrun -dataset thermal -seeding dense -alg static   # reproduces the OOM
 //	slrun -alg ondemand -perproc                        # per-processor stats
+//	slrun -alg hybrid -procs 8,16,32,64 -j 4            # strong-scaling sweep
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"slices"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// parseProcs parses the -procs flag: one count or a comma-separated list.
+func parseProcs(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scaleName = flag.String("scale", "default", "scale: small, default, or paper")
-		dataset   = flag.String("dataset", "astro", "dataset: astro, fusion, thermal")
-		seeding   = flag.String("seeding", "sparse", "seeding: sparse or dense")
-		alg       = flag.String("alg", "hybrid", "algorithm: static, ondemand, hybrid")
-		procs     = flag.Int("procs", 64, "simulated processor count")
-		perProc   = flag.Bool("perproc", false, "print per-processor statistics")
-		topN      = flag.Int("top", 5, "with -perproc, show the N busiest processors")
+		scaleName = fs.String("scale", "default", "scale: small, default, or paper")
+		dataset   = fs.String("dataset", "astro", "dataset: astro, fusion, thermal")
+		seeding   = fs.String("seeding", "sparse", "seeding: sparse or dense")
+		alg       = fs.String("alg", "hybrid", "algorithm: static, ondemand, hybrid")
+		procsFlag = fs.String("procs", "64", "simulated processor count, or comma-separated list for a sweep")
+		perProc   = fs.Bool("perproc", false, "print per-processor statistics (single -procs only)")
+		topN      = fs.Int("top", 5, "with -perproc, show the N busiest processors")
+		jobs      = fs.Int("j", 0, "sweep cells to run concurrently; 0 means one per CPU core")
 	)
-	flag.Parse()
-
-	var sc experiments.Scale
-	switch *scaleName {
-	case "small":
-		sc = experiments.SmallScale()
-	case "default":
-		sc = experiments.DefaultScale()
-	case "paper":
-		sc = experiments.PaperScale()
-	default:
-		fmt.Fprintf(os.Stderr, "slrun: unknown scale %q\n", *scaleName)
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
 
-	prob, err := experiments.BuildProblem(experiments.Dataset(*dataset), experiments.Seeding(*seeding), sc)
+	sc, ok := experiments.ScaleByName(*scaleName)
+	if !ok {
+		fmt.Fprintf(stderr, "slrun: unknown scale %q\n", *scaleName)
+		return 2
+	}
+	procCounts, err := parseProcs(*procsFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "slrun:", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "slrun: %v\n", err)
+		return 2
 	}
-	cfg := experiments.MachineConfig(core.Algorithm(*alg), *procs, sc)
-	fmt.Printf("running %s/%s with %s on %d processors (%d seeds, %d blocks, budget %d MB)\n",
-		*dataset, *seeding, *alg, *procs, len(prob.Seeds),
+	// Reject bad experiment names up front so a typo is a usage error
+	// (exit 2) on every path, not a per-cell "run failed" (exit 1).
+	if !slices.Contains(experiments.Datasets(), experiments.Dataset(*dataset)) {
+		fmt.Fprintf(stderr, "slrun: unknown dataset %q\n", *dataset)
+		return 2
+	}
+	if !slices.Contains(experiments.Seedings(), experiments.Seeding(*seeding)) {
+		fmt.Fprintf(stderr, "slrun: unknown seeding %q\n", *seeding)
+		return 2
+	}
+	if !slices.Contains(core.Algorithms(), core.Algorithm(*alg)) {
+		fmt.Fprintf(stderr, "slrun: unknown algorithm %q\n", *alg)
+		return 2
+	}
+
+	if len(procCounts) > 1 {
+		return runSweep(sc, *dataset, *seeding, *alg, procCounts, *jobs, stdout, stderr)
+	}
+	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, stdout, stderr)
+}
+
+// runSweep executes one (dataset, seeding, algorithm) cell at several
+// processor counts on the campaign worker pool and prints a summary table.
+func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []int, jobs int, stdout, stderr io.Writer) int {
+	// The campaign keeps the scale's own ProcCounts so MemoryBudget (which
+	// derives from the sweep minimum) matches what a single -procs run of
+	// the same scale would use; the sweep cells come from the explicit key
+	// list below.
+	c := experiments.NewCampaign(sc)
+	c.Workers = jobs
+
+	keys := make([]experiments.Key, 0, len(procCounts))
+	for _, p := range procCounts {
+		keys = append(keys, experiments.Key{
+			Dataset: experiments.Dataset(dataset),
+			Seeding: experiments.Seeding(seeding),
+			Alg:     core.Algorithm(alg),
+			Procs:   p,
+		})
+	}
+	c.RunKeys(keys)
+
+	rows := make([]metrics.TableRow, 0, len(keys))
+	failed := 0
+	for _, k := range keys {
+		out := c.Run(k) // cached
+		if out.Err != nil {
+			failed++
+		}
+		rows = append(rows, metrics.TableRow{Label: k.Label(), Summary: out.Summary, Err: out.Err})
+	}
+	fmt.Fprint(stdout, metrics.Table(rows, []string{"wall", "io", "comm", "efficiency"}))
+	if failed > 0 {
+		// Match the single-run convention: any failed cell (e.g. the
+		// expected dense/static OOM) yields a non-zero exit.
+		return 1
+	}
+	return 0
+}
+
+// runSingle executes one configuration and prints the detailed report.
+func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, stdout, stderr io.Writer) int {
+	prob, err := experiments.BuildProblem(experiments.Dataset(dataset), experiments.Seeding(seeding), sc)
+	if err != nil {
+		fmt.Fprintln(stderr, "slrun:", err)
+		return 2
+	}
+	cfg := experiments.MachineConfig(core.Algorithm(alg), procs, sc)
+	fmt.Fprintf(stdout, "running %s/%s with %s on %d processors (%d seeds, %d blocks, budget %d MB)\n",
+		dataset, seeding, alg, procs, len(prob.Seeds),
 		prob.Provider.Decomp().NumBlocks(), cfg.MemoryBudget>>20)
 
 	res, err := core.Run(prob, cfg)
 	if err != nil {
-		fmt.Printf("run failed: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stdout, "run failed: %v\n", err)
+		return 1
 	}
 	s := res.Summary
-	fmt.Printf("wall clock          %10.3f s\n", s.WallClock)
-	fmt.Printf("total I/O time      %10.3f s\n", s.TotalIO)
-	fmt.Printf("total comm time     %10.3f s\n", s.TotalComm)
-	fmt.Printf("total compute time  %10.3f s\n", s.TotalCompute)
-	fmt.Printf("block efficiency    %10.3f   (loads %d, purges %d)\n",
+	fmt.Fprintf(stdout, "wall clock          %10.3f s\n", s.WallClock)
+	fmt.Fprintf(stdout, "total I/O time      %10.3f s\n", s.TotalIO)
+	fmt.Fprintf(stdout, "total comm time     %10.3f s\n", s.TotalComm)
+	fmt.Fprintf(stdout, "total compute time  %10.3f s\n", s.TotalCompute)
+	fmt.Fprintf(stdout, "block efficiency    %10.3f   (loads %d, purges %d)\n",
 		s.BlockEfficiency, s.BlocksLoaded, s.BlocksPurged)
-	fmt.Printf("messages            %10d   (%d bytes)\n", s.MsgsSent, s.BytesSent)
-	fmt.Printf("integration steps   %10d\n", s.Steps)
-	fmt.Printf("streamlines done    %10d\n", s.StreamlinesCompleted)
-	fmt.Printf("peak memory         %10d MB\n", s.PeakMemoryBytes>>20)
-	fmt.Printf("load imbalance      %10.2f\n", s.Imbalance)
+	fmt.Fprintf(stdout, "messages            %10d   (%d bytes)\n", s.MsgsSent, s.BytesSent)
+	fmt.Fprintf(stdout, "integration steps   %10d\n", s.Steps)
+	fmt.Fprintf(stdout, "streamlines done    %10d\n", s.StreamlinesCompleted)
+	fmt.Fprintf(stdout, "peak memory         %10d MB\n", s.PeakMemoryBytes>>20)
+	fmt.Fprintf(stdout, "load imbalance      %10.2f\n", s.Imbalance)
 
-	if *perProc {
-		fmt.Println("\nbusiest processors:")
-		// Rebuild a collector view from the per-proc stats.
+	if perProc {
+		fmt.Fprintln(stdout, "\nbusiest processors:")
 		for i, ps := range res.PerProc {
 			busy := ps.ComputeTime + ps.IOTime + ps.CommTime
-			if i >= *topN && *topN > 0 {
+			if i >= topN && topN > 0 {
 				break
 			}
-			fmt.Printf("  proc %4d: busy=%8.3fs io=%8.3fs comm=%8.3fs steps=%9d loads=%5d done=%d\n",
+			fmt.Fprintf(stdout, "  proc %4d: busy=%8.3fs io=%8.3fs comm=%8.3fs steps=%9d loads=%5d done=%d\n",
 				ps.Proc, busy, ps.IOTime, ps.CommTime, ps.Steps, ps.BlocksLoaded, ps.StreamlinesCompleted)
 		}
 	}
+	return 0
 }

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseProcs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"64", []int{64}, true},
+		{"8,16,32", []int{8, 16, 32}, true},
+		{" 8 , 16 ", []int{8, 16}, true},
+		{"", nil, false},
+		{"8,zero", nil, false},
+		{"-4", nil, false},
+	}
+	for _, tc := range cases {
+		got, err := parseProcs(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseProcs(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseProcs(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseProcs(%q) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "bogus"},
+		{"-procs", "0"},
+		{"-procs", "8,oops"},
+		{"-nosuchflag"},
+		// Bad experiment names are usage errors on the single-run AND
+		// sweep paths, never per-cell simulation failures.
+		{"-dataset", "bogus"},
+		{"-dataset", "bogus", "-procs", "8,16"},
+		{"-seeding", "bogus", "-procs", "8,16"},
+		{"-alg", "bogus"},
+		{"-alg", "bogus", "-procs", "8,16"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errw); code != 0 {
+		t.Errorf("run(-h) = %d, want 0", code)
+	}
+}
+
+func TestRunSingleSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "astro", "-seeding", "sparse",
+		"-alg", "ondemand", "-procs", "8", "-perproc", "-top", "2"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"wall clock", "block efficiency", "busiest processors", "proc    0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSweepFailureExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	// The dense-thermal static OOM fails at every processor count (the
+	// geometry concentrates on one processor regardless); the sweep must
+	// report it with a non-zero exit, like the single-run path does.
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "thermal", "-seeding", "dense",
+		"-alg", "static", "-procs", "8,32", "-j", "2"}
+	if code := run(args, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "OOM") {
+		t.Errorf("sweep table should mark the OOM rows:\n%s", out.String())
+	}
+}
+
+func TestRunSweepSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "fusion", "-seeding", "sparse",
+		"-alg", "hybrid", "-procs", "8,16", "-j", "2"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"fusion/sparse/hybrid/8", "fusion/sparse/hybrid/16", "wall"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -20,23 +22,39 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dataset = flag.String("dataset", "astro", "dataset: astro, fusion, thermal")
-		seeding = flag.String("seeding", "sparse", "seeding: sparse or dense")
-		out     = flag.String("out", "streamlines.ppm", "output PPM path")
-		width   = flag.Int("width", 1024, "image width")
-		height  = flag.Int("height", 768, "image height")
-		lines   = flag.Int("lines", 300, "number of streamlines to draw")
+		dataset  = fs.String("dataset", "astro", "dataset: astro, fusion, thermal")
+		seeding  = fs.String("seeding", "sparse", "seeding: sparse or dense")
+		out      = fs.String("out", "streamlines.ppm", "output PPM path")
+		width    = fs.Int("width", 1024, "image width")
+		height   = fs.Int("height", 768, "image height")
+		lines    = fs.Int("lines", 300, "number of streamlines to draw")
+		maxSteps = fs.Int("steps", 1200, "integration step budget per streamline")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *maxSteps <= 0 {
+		fmt.Fprintf(stderr, "slviz: -steps must be positive (got %d)\n", *maxSteps)
+		return 2
+	}
 
 	// A small-scale problem gives plenty of geometry for a picture.
 	sc := experiments.SmallScale()
-	sc.MaxSteps = 1200
+	sc.MaxSteps = *maxSteps
 	prob, err := experiments.BuildProblem(experiments.Dataset(*dataset), experiments.Seeding(*seeding), sc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "slviz:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "slviz:", err)
+		return 2
 	}
 	if len(prob.Seeds) > *lines {
 		// Subsample evenly for a readable picture.
@@ -53,8 +71,8 @@ func main() {
 	cfg.CollectTraces = true
 	res, err := core.Run(prob, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "slviz: run failed:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "slviz: run failed:", err)
+		return 1
 	}
 
 	pal := render.Plasma
@@ -73,14 +91,15 @@ func main() {
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "slviz:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "slviz:", err)
+		return 1
 	}
 	defer f.Close()
 	if err := img.WritePPM(f); err != nil {
-		fmt.Fprintln(os.Stderr, "slviz:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "slviz:", err)
+		return 1
 	}
-	fmt.Printf("wrote %s: %d streamlines, %.1f%% pixel coverage\n",
+	fmt.Fprintf(stdout, "wrote %s: %d streamlines, %.1f%% pixel coverage\n",
 		*out, len(res.Streamlines), img.Coverage()*100)
+	return 0
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-dataset", "bogus"}, &out, &errw); code != 2 {
+		t.Errorf("bad dataset: run = %d, want 2", code)
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errw); code != 2 {
+		t.Errorf("bad flag: run = %d, want 2", code)
+	}
+	if code := run([]string{"-steps", "0"}, &out, &errw); code != 2 {
+		t.Errorf("-steps 0: run = %d, want 2", code)
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errw); code != 0 {
+		t.Errorf("run(-h) = %d, want 0", code)
+	}
+}
+
+func TestRunWritesImage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rendering run too slow for -short")
+	}
+	path := filepath.Join(t.TempDir(), "out.ppm")
+	var out, errw bytes.Buffer
+	args := []string{"-dataset", "fusion", "-out", path,
+		"-width", "64", "-height", "48", "-lines", "12", "-steps", "200"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("missing confirmation line: %s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("P6")) {
+		t.Errorf("output is not a binary PPM (got %q...)", data[:min(8, len(data))])
+	}
+}

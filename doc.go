@@ -6,9 +6,8 @@
 // cluster, together with the full evaluation campaign that regenerates
 // every figure of the paper's Section 5.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
-// entry points are:
+// See README.md for a tour and DESIGN.md for the system inventory,
+// substitutions and design-choice notes. The entry points are:
 //
 //   - internal/core: the three algorithms (core.Run)
 //   - internal/experiments: datasets, machine model, figure harness

@@ -99,17 +99,10 @@ func (e *Endpoint) Index() int { return e.index }
 // Proc returns the simulated processor bound to this endpoint.
 func (e *Endpoint) Proc() *sim.Proc { return e.proc }
 
-// SendHook, when non-nil, observes every sent payload; tests use it to
-// break traffic down by message type.
-var SendHook func(payload Message)
-
 // Send transmits payload to endpoint index "to". The calling processor is
 // charged post overhead plus transfer time (both recorded as comm time);
 // delivery occurs after the network latency.
 func (e *Endpoint) Send(to int, payload Message) {
-	if SendHook != nil {
-		SendHook(payload)
-	}
 	n := e.fabric.net
 	cost := n.PostOverheadSec + n.TransferTime(payload.Bytes())
 	start := e.proc.Now()

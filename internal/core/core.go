@@ -190,6 +190,13 @@ type Result struct {
 // Run executes the configured algorithm on the problem and returns its
 // metrics. Runs are deterministic: the same problem and config produce
 // identical results.
+//
+// Concurrent Run calls are independent — each builds its own simulation
+// kernel, fabric, caches and collectors — and may share a single Problem
+// value: Run treats the problem as read-only (seeds are copied into
+// per-run records before use) and requires only that the Provider be safe
+// for concurrent use, which AnalyticProvider and SampledProvider are. The
+// parallel campaign in internal/experiments relies on both properties.
 func Run(p Problem, cfg Config) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -82,6 +83,20 @@ type Scale struct {
 	// 10 ms); reduced scales with tiny blocks use a smaller value so the
 	// latency:transfer ratio stays realistic.
 	DiskLatencySec float64
+}
+
+// ScaleByName resolves a scale name as used by the sl* commands' -scale
+// flag: "small", "default" or "paper".
+func ScaleByName(name string) (Scale, bool) {
+	switch name {
+	case "small":
+		return SmallScale(), true
+	case "default":
+		return DefaultScale(), true
+	case "paper":
+		return PaperScale(), true
+	}
+	return Scale{}, false
 }
 
 // PaperScale reproduces the paper's configuration: 512 blocks of 1M
@@ -307,29 +322,128 @@ type Outcome struct {
 	Err     error
 }
 
-// Campaign runs and caches the full evaluation at one scale.
+// Campaign runs and caches the full evaluation at one scale. A Campaign
+// is safe for concurrent use: Run may be called from any number of
+// goroutines, and the batch entry points (RunKeys, RunDataset, FigureRows)
+// execute missing cells on a bounded worker pool (see parallel.go). Every
+// sweep cell is an independent deterministic simulation, so results are
+// bit-identical regardless of execution order or worker count.
 type Campaign struct {
-	Scale   Scale
-	Results map[Key]Outcome
-	// Log, when non-nil, receives progress lines.
+	Scale Scale
+	// Workers bounds how many sweep cells the batch entry points execute
+	// concurrently: 0 (or negative) means runtime.NumCPU(), 1 forces
+	// serial execution. Set it before the first Run.
+	Workers int
+	// Log, when non-nil, receives progress lines as runs complete. Calls
+	// are serialized; completion order varies when Workers > 1.
 	Log func(string)
+
+	mu       sync.Mutex
+	results  map[Key]Outcome
+	inflight map[Key]chan struct{}
+
+	probMu   sync.Mutex
+	problems map[problemKey]*problemEntry
+
+	logMu sync.Mutex
 }
 
 // NewCampaign creates an empty campaign at the given scale.
 func NewCampaign(sc Scale) *Campaign {
-	return &Campaign{Scale: sc, Results: make(map[Key]Outcome)}
+	return &Campaign{
+		Scale:    sc,
+		results:  make(map[Key]Outcome),
+		inflight: make(map[Key]chan struct{}),
+		problems: make(map[problemKey]*problemEntry),
+	}
 }
 
-// Run executes (or returns the cached result of) one configuration.
+// problemKey indexes the memoized problems: every figure cell that shares
+// a (dataset, seeding) pair shares one grid/field/seed construction.
+type problemKey struct {
+	ds      Dataset
+	seeding Seeding
+}
+
+// problemEntry builds its problem exactly once, even under concurrent
+// demand from many sweep cells.
+type problemEntry struct {
+	once sync.Once
+	prob core.Problem
+	err  error
+}
+
+// problem returns the memoized BuildProblem result for (ds, seeding).
+// The returned Problem is shared between concurrent core.Run calls; that
+// is safe because Run treats the problem as read-only (see core.Run).
+func (c *Campaign) problem(ds Dataset, seeding Seeding) (core.Problem, error) {
+	pk := problemKey{ds: ds, seeding: seeding}
+	c.probMu.Lock()
+	e, ok := c.problems[pk]
+	if !ok {
+		e = &problemEntry{}
+		c.problems[pk] = e
+	}
+	c.probMu.Unlock()
+	e.once.Do(func() {
+		e.prob, e.err = BuildProblem(ds, seeding, c.Scale)
+	})
+	return e.prob, e.err
+}
+
+// Cached returns the outcome for k only if it has already been computed.
+func (c *Campaign) Cached(k Key) (Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, ok := c.results[k]
+	return out, ok
+}
+
+// NumResults returns how many configurations have been computed so far.
+func (c *Campaign) NumResults() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.results)
+}
+
+// Run executes (or returns the cached result of) one configuration. If
+// another goroutine is already executing k, Run waits for that result
+// instead of duplicating the work.
 func (c *Campaign) Run(k Key) Outcome {
-	if out, ok := c.Results[k]; ok {
+	for {
+		c.mu.Lock()
+		if out, ok := c.results[k]; ok {
+			c.mu.Unlock()
+			return out
+		}
+		ch, busy := c.inflight[k]
+		if busy {
+			c.mu.Unlock()
+			<-ch // another goroutine is on it; wait and re-check
+			continue
+		}
+		ch = make(chan struct{})
+		c.inflight[k] = ch
+		c.mu.Unlock()
+
+		out := c.execute(k)
+
+		c.mu.Lock()
+		c.results[k] = out
+		delete(c.inflight, k)
+		c.mu.Unlock()
+		close(ch)
+		c.logOutcome(out)
 		return out
 	}
-	prob, err := BuildProblem(k.Dataset, k.Seeding, c.Scale)
+}
+
+// execute performs the simulation for one configuration (no caching).
+func (c *Campaign) execute(k Key) Outcome {
 	out := Outcome{Key: k}
+	prob, err := c.problem(k.Dataset, k.Seeding)
 	if err != nil {
 		out.Err = err
-		c.Results[k] = out
 		return out
 	}
 	cfg := MachineConfig(k.Alg, k.Procs, c.Scale)
@@ -339,27 +453,55 @@ func (c *Campaign) Run(k Key) Outcome {
 	} else {
 		out.Summary = res.Summary
 	}
-	c.Results[k] = out
-	if c.Log != nil {
-		if out.Err != nil {
-			c.Log(fmt.Sprintf("%-36s FAILED: %v", k.Label(), out.Err))
-		} else {
-			c.Log(fmt.Sprintf("%-36s %s", k.Label(), out.Summary))
-		}
-	}
 	return out
 }
 
-// RunDataset executes the whole sweep for one dataset (both seedings, all
-// algorithms, all processor counts).
-func (c *Campaign) RunDataset(ds Dataset) {
+func (c *Campaign) logOutcome(out Outcome) {
+	if c.Log == nil {
+		return
+	}
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	if out.Err != nil {
+		c.Log(fmt.Sprintf("%-36s FAILED: %v", out.Key.Label(), out.Err))
+	} else {
+		c.Log(fmt.Sprintf("%-36s %s", out.Key.Label(), out.Summary))
+	}
+}
+
+// DatasetKeys enumerates one dataset's full sweep (both seedings, all
+// algorithms, all processor counts) in presentation order.
+func (c *Campaign) DatasetKeys(ds Dataset) []Key {
+	var keys []Key
 	for _, seeding := range Seedings() {
 		for _, alg := range core.Algorithms() {
 			for _, procs := range c.Scale.ProcCounts {
-				c.Run(Key{Dataset: ds, Seeding: seeding, Alg: alg, Procs: procs})
+				keys = append(keys, Key{Dataset: ds, Seeding: seeding, Alg: alg, Procs: procs})
 			}
 		}
 	}
+	return keys
+}
+
+// AllKeys enumerates the complete campaign in presentation order.
+func (c *Campaign) AllKeys() []Key {
+	var keys []Key
+	for _, ds := range Datasets() {
+		keys = append(keys, c.DatasetKeys(ds)...)
+	}
+	return keys
+}
+
+// RunDataset executes the whole sweep for one dataset (both seedings, all
+// algorithms, all processor counts), using the worker pool when Workers
+// allows.
+func (c *Campaign) RunDataset(ds Dataset) {
+	c.RunKeys(c.DatasetKeys(ds))
+}
+
+// RunAll executes the complete campaign across every dataset.
+func (c *Campaign) RunAll() {
+	c.RunKeys(c.AllKeys())
 }
 
 // Figure describes one of the paper's quantitative figures.
@@ -398,21 +540,27 @@ func FigureByID(id int) (Figure, bool) {
 	return Figure{}, false
 }
 
+// FigureKeys enumerates the configurations a figure needs, in the order
+// its table lists them.
+func (c *Campaign) FigureKeys(fig Figure) []Key {
+	return c.DatasetKeys(fig.Dataset)
+}
+
 // FigureRows runs (or fetches) every configuration a figure needs and
-// returns its table rows: seeding × algorithm × processor count.
+// returns its table rows: seeding × algorithm × processor count. Missing
+// cells execute on the worker pool; row order is always the presentation
+// order regardless of completion order.
 func (c *Campaign) FigureRows(fig Figure) []metrics.TableRow {
-	var rows []metrics.TableRow
-	for _, seeding := range Seedings() {
-		for _, alg := range core.Algorithms() {
-			for _, procs := range c.Scale.ProcCounts {
-				out := c.Run(Key{Dataset: fig.Dataset, Seeding: seeding, Alg: alg, Procs: procs})
-				rows = append(rows, metrics.TableRow{
-					Label:   out.Key.Label(),
-					Summary: out.Summary,
-					Err:     out.Err,
-				})
-			}
-		}
+	keys := c.FigureKeys(fig)
+	c.RunKeys(keys)
+	rows := make([]metrics.TableRow, 0, len(keys))
+	for _, k := range keys {
+		out := c.Run(k) // cached by RunKeys
+		rows = append(rows, metrics.TableRow{
+			Label:   out.Key.Label(),
+			Summary: out.Summary,
+			Err:     out.Err,
+		})
 	}
 	return rows
 }

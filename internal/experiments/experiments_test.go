@@ -128,8 +128,11 @@ func TestCampaignCachesRuns(t *testing.T) {
 	if a.Summary.String() != b.Summary.String() {
 		t.Error("cached run differs")
 	}
-	if len(c.Results) != 1 {
-		t.Errorf("results cached = %d, want 1", len(c.Results))
+	if c.NumResults() != 1 {
+		t.Errorf("results cached = %d, want 1", c.NumResults())
+	}
+	if _, ok := c.Cached(k); !ok {
+		t.Error("Cached(k) missing after Run")
 	}
 	if !strings.Contains(k.Label(), "astro/sparse/ondemand/8") {
 		t.Errorf("Label = %q", k.Label())
@@ -189,7 +192,7 @@ func TestShapeChecksSmallScale(t *testing.T) {
 		// Small-scale runs (64 tiny blocks, 1 ms reads, hundreds of
 		// seeds) compress the cost structure so much that several
 		// relative claims lose their regime; they are verified at the
-		// default scale by `slbench -shapes` (see EXPERIMENTS.md).
+		// default scale by `slbench -shapes`.
 		"Fig 5 (sparse): Hybrid has the best astro wall clock":                                  true,
 		"Fig 8: Static communicates more than Hybrid (astro sparse)":                            true,
 		"Fig 11: Static communication is higher for dense fusion seeds":                         true,
@@ -201,6 +204,18 @@ func TestShapeChecksSmallScale(t *testing.T) {
 		if !r.OK && !allowFail[r.Claim] {
 			t.Errorf("shape check failed: %s (%s)", r.Claim, r.Detail)
 		}
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "default", "paper"} {
+		sc, ok := ScaleByName(name)
+		if !ok || sc.Name != name {
+			t.Errorf("ScaleByName(%q) = (%q, %v)", name, sc.Name, ok)
+		}
+	}
+	if _, ok := ScaleByName("bogus"); ok {
+		t.Error("ScaleByName accepted an unknown scale")
 	}
 }
 

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tinyScale trims SmallScale so the full 36-cell campaign stays fast
+// enough to run twice (serial and parallel) under -race.
+func tinyScale() Scale {
+	sc := SmallScale()
+	sc.Name = "tiny"
+	sc.AstroSeeds = 60
+	sc.FusionSeeds = 40
+	sc.ThermalSparseGrid = 3
+	sc.ThermalDenseSeeds = 1200
+	sc.MaxSteps = 120
+	sc.ShortSteps = 150 // keep dense-thermal geometry above the OOM budget (Figure 13 cell)
+	sc.ProcCounts = []int{4, 8}
+	return sc
+}
+
+// TestParallelCampaignMatchesSerial is the equivalence guarantee of the
+// worker pool: every cell of a Workers=8 campaign must produce a
+// bit-identical metrics.Summary (or the identical error) to a Workers=1
+// campaign, for every key, including the expected OOM failure cell.
+func TestParallelCampaignMatchesSerial(t *testing.T) {
+	sc := tinyScale()
+	serial := NewCampaign(sc)
+	serial.Workers = 1
+	parallel := NewCampaign(sc)
+	parallel.Workers = 8
+
+	serial.RunAll()
+	parallel.RunAll()
+
+	keys := serial.AllKeys()
+	if got := serial.NumResults(); got != len(keys) {
+		t.Fatalf("serial campaign ran %d cells, want %d", got, len(keys))
+	}
+	if got := parallel.NumResults(); got != len(keys) {
+		t.Fatalf("parallel campaign ran %d cells, want %d", got, len(keys))
+	}
+
+	sawErr := false
+	for _, k := range keys {
+		a, ok := serial.Cached(k)
+		if !ok {
+			t.Fatalf("%s: missing from serial results", k.Label())
+		}
+		b, ok := parallel.Cached(k)
+		if !ok {
+			t.Fatalf("%s: missing from parallel results", k.Label())
+		}
+		if a.Summary != b.Summary {
+			t.Errorf("%s: summaries differ\nserial:   %+v\nparallel: %+v", k.Label(), a.Summary, b.Summary)
+		}
+		aErr, bErr := "", ""
+		if a.Err != nil {
+			aErr = a.Err.Error()
+			sawErr = true
+		}
+		if b.Err != nil {
+			bErr = b.Err.Error()
+		}
+		if aErr != bErr {
+			t.Errorf("%s: errors differ: serial %q, parallel %q", k.Label(), aErr, bErr)
+		}
+	}
+	if !sawErr {
+		t.Error("no cell failed: the dense-thermal static OOM should appear in both campaigns")
+	}
+}
+
+// TestParallelFigureRowsDeterministic asserts that the rendered figure
+// tables — row order included — are byte-identical between serial and
+// parallel execution.
+func TestParallelFigureRowsDeterministic(t *testing.T) {
+	sc := tinyScale()
+	serial := NewCampaign(sc)
+	serial.Workers = 1
+	parallel := NewCampaign(sc)
+	parallel.Workers = 8
+
+	for _, fig := range Figures() {
+		a := serial.FigureTable(fig)
+		b := parallel.FigureTable(fig)
+		if a != b {
+			t.Errorf("figure %d tables differ:\n--- serial ---\n%s\n--- parallel ---\n%s", fig.ID, a, b)
+		}
+	}
+}
+
+// TestProblemMemoization checks that the grid/field/seed construction
+// happens once per (dataset, seeding), not once per cell.
+func TestProblemMemoization(t *testing.T) {
+	c := NewCampaign(tinyScale())
+	c.Workers = 4
+	c.RunAll()
+	want := len(Datasets()) * len(Seedings())
+	c.probMu.Lock()
+	got := len(c.problems)
+	c.probMu.Unlock()
+	if got != want {
+		t.Errorf("problems built = %d, want %d (one per dataset × seeding)", got, want)
+	}
+	// The memoized problem is shared: a second fetch returns the same
+	// backing seeds slice, not a rebuild.
+	p1, err := c.problem(Astro, Sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := c.problem(Astro, Sparse)
+	if len(p1.Seeds) == 0 || &p1.Seeds[0] != &p2.Seeds[0] {
+		t.Error("problem(Astro, Sparse) rebuilt instead of memoized")
+	}
+}
+
+// TestRunSingleflight checks that concurrent Run calls for the same key
+// execute the simulation once and all observe that one outcome.
+func TestRunSingleflight(t *testing.T) {
+	sc := tinyScale()
+	c := NewCampaign(sc)
+	k := Key{Dataset: Astro, Seeding: Sparse, Alg: core.LoadOnDemand, Procs: 4}
+
+	const callers = 8
+	outs := make([]Outcome, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = c.Run(k)
+		}(i)
+	}
+	wg.Wait()
+
+	if c.NumResults() != 1 {
+		t.Errorf("results = %d, want 1", c.NumResults())
+	}
+	for i := 1; i < callers; i++ {
+		if outs[i].Summary != outs[0].Summary {
+			t.Errorf("caller %d observed a different summary", i)
+		}
+	}
+}
+
+// TestRunKeysDedup checks that duplicate keys in one batch are collapsed.
+func TestRunKeysDedup(t *testing.T) {
+	sc := tinyScale()
+	c := NewCampaign(sc)
+	c.Workers = 4
+	k := Key{Dataset: Fusion, Seeding: Sparse, Alg: core.LoadOnDemand, Procs: 4}
+	c.RunKeys([]Key{k, k, k, k})
+	if c.NumResults() != 1 {
+		t.Errorf("results = %d, want 1", c.NumResults())
+	}
+}
+
+// TestWorkersDefault checks the pool-size resolution.
+func TestWorkersDefault(t *testing.T) {
+	c := NewCampaign(SmallScale())
+	if c.workers() < 1 {
+		t.Errorf("default workers = %d, want >= 1", c.workers())
+	}
+	c.Workers = 3
+	if c.workers() != 3 {
+		t.Errorf("workers = %d, want 3", c.workers())
+	}
+}

@@ -17,6 +17,22 @@ type ShapeResult struct {
 	Detail string
 }
 
+// ShapeKeys enumerates the configurations CheckShapes consults — every
+// dataset × seeding × algorithm at the scale's top processor count — so
+// callers can prewarm them on the worker pool before the (serial) checks.
+func ShapeKeys(c *Campaign) []Key {
+	top := c.Scale.ProcCounts[len(c.Scale.ProcCounts)-1]
+	var keys []Key
+	for _, ds := range Datasets() {
+		for _, seeding := range Seedings() {
+			for _, alg := range core.Algorithms() {
+				keys = append(keys, Key{Dataset: ds, Seeding: seeding, Alg: alg, Procs: top})
+			}
+		}
+	}
+	return keys
+}
+
 // CheckShapes verifies the paper's qualitative findings — who wins, by
 // roughly what factor, and where the boundary cases fall — against the
 // campaign. Absolute numbers are not compared (our substrate is a
