@@ -213,6 +213,36 @@ func BenchmarkAblationCacheSize(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationStealBatch sweeps the work-stealing batch size on the
+// dense astro seeding (the workload whose imbalance drives steal
+// traffic): batch 1 maximizes probe round-trips, large batches risk
+// re-imbalancing the ring with every transfer.
+func BenchmarkAblationStealBatch(b *testing.B) {
+	sc := experiments.SmallScale()
+	prob, err := experiments.BuildProblem(experiments.Astro, experiments.Dense, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range []int{1, 4, 8, 16, 64} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			cfg := experiments.MachineConfig(core.WorkStealing, 16, sc)
+			cfg.Steal.Batch = batch
+			var s metrics.Summary
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(prob, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = res.Summary
+			}
+			b.ReportMetric(s.WallClock, "vwall-s")
+			b.ReportMetric(s.TotalComm, "vcomm-s")
+			b.ReportMetric(float64(s.StealHits), "steals")
+			b.ReportMetric(float64(s.StealAttempts), "probes")
+		})
+	}
+}
+
 // BenchmarkAblationLightweightComm compares full-geometry streamline
 // communication against the paper's §8 solver-state-only proposal.
 func BenchmarkAblationLightweightComm(b *testing.B) {

@@ -1,9 +1,12 @@
 // Command slbench regenerates the paper's evaluation (Figures 5–16): for
 // each figure it runs the full sweep — dataset × {sparse, dense} seeding ×
-// {static, ondemand, hybrid} × processor counts — on the simulated
-// cluster and prints the figure's metric as a table (or CSV). Sweep cells
-// are independent simulations, so they execute concurrently on a worker
-// pool sized by -j (one worker per CPU core by default).
+// {static, ondemand, hybrid, stealing} × processor counts — on the
+// simulated cluster and prints the figure's metric as a table (or CSV).
+// Every figure thus gains a stealing block next to the paper's three
+// algorithms, answering whether master-mediated coordination beats a
+// fully decentralized dynamic scheme (DESIGN.md §6). Sweep cells are
+// independent simulations, so they execute concurrently on a worker pool
+// sized by -j (one worker per CPU core by default).
 //
 // Usage:
 //

@@ -1,8 +1,11 @@
 // Command slrun executes a single streamline computation on the simulated
 // cluster and reports its metrics — the one-experiment counterpart to
-// slbench's full sweep. -procs also accepts a comma-separated list; the
-// sweep then runs its cells concurrently (-j workers, one per CPU core by
-// default) and prints one summary line per processor count.
+// slbench's full sweep. All four algorithms are available: the paper's
+// static, ondemand and hybrid, plus the decentralized stealing extension
+// (DESIGN.md §6), whose batch size, probe fanout and victim policy are
+// tunable with the -steal-* flags. -procs also accepts a comma-separated
+// list; the sweep then runs its cells concurrently (-j workers, one per
+// CPU core by default) and prints one summary line per processor count.
 //
 // Usage:
 //
@@ -10,6 +13,7 @@
 //	slrun -dataset thermal -seeding dense -alg static   # reproduces the OOM
 //	slrun -alg ondemand -perproc                        # per-processor stats
 //	slrun -alg hybrid -procs 8,16,32,64 -j 4            # strong-scaling sweep
+//	slrun -alg stealing -steal-batch 16 -steal-victim roundrobin
 package main
 
 import (
@@ -49,14 +53,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("slrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		scaleName = fs.String("scale", "default", "scale: small, default, or paper")
-		dataset   = fs.String("dataset", "astro", "dataset: astro, fusion, thermal")
-		seeding   = fs.String("seeding", "sparse", "seeding: sparse or dense")
-		alg       = fs.String("alg", "hybrid", "algorithm: static, ondemand, hybrid")
-		procsFlag = fs.String("procs", "64", "simulated processor count, or comma-separated list for a sweep")
-		perProc   = fs.Bool("perproc", false, "print per-processor statistics (single -procs only)")
-		topN      = fs.Int("top", 5, "with -perproc, show the N busiest processors")
-		jobs      = fs.Int("j", 0, "sweep cells to run concurrently; 0 means one per CPU core")
+		scaleName   = fs.String("scale", "default", "scale: small, default, or paper")
+		dataset     = fs.String("dataset", "astro", "dataset: astro, fusion, thermal")
+		seeding     = fs.String("seeding", "sparse", "seeding: sparse or dense")
+		alg         = fs.String("alg", "hybrid", "algorithm: static, ondemand, hybrid, stealing")
+		procsFlag   = fs.String("procs", "64", "simulated processor count, or comma-separated list for a sweep")
+		perProc     = fs.Bool("perproc", false, "print per-processor statistics (single -procs only)")
+		topN        = fs.Int("top", 5, "with -perproc, show the N busiest processors")
+		jobs        = fs.Int("j", 0, "sweep cells to run concurrently; 0 means one per CPU core")
+		stealBatch  = fs.Int("steal-batch", 0, "stealing: streamlines per steal batch (0 = default 8)")
+		stealFanout = fs.Int("steal-fanout", 0, "stealing: victims probed per hungry round (0 = all peers)")
+		stealVictim = fs.String("steal-victim", "", "stealing: victim policy, random or roundrobin (empty = random)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -89,22 +96,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "slrun: unknown algorithm %q\n", *alg)
 		return 2
 	}
+	steal := core.StealParams{
+		Batch:  *stealBatch,
+		Fanout: *stealFanout,
+		Victim: core.VictimPolicy(*stealVictim),
+	}
+	if steal != (core.StealParams{}) {
+		// The -steal-* flags only mean something to the stealing
+		// algorithm; accepting them elsewhere would let a user believe
+		// they tuned something that was silently ignored.
+		if core.Algorithm(*alg) != core.WorkStealing {
+			fmt.Fprintf(stderr, "slrun: -steal-* flags require -alg stealing (got %q)\n", *alg)
+			return 2
+		}
+		if steal.Batch < 0 || steal.Fanout < 0 {
+			fmt.Fprintf(stderr, "slrun: negative -steal-batch/-steal-fanout (%d/%d)\n", steal.Batch, steal.Fanout)
+			return 2
+		}
+		if err := steal.Validate(); err != nil {
+			fmt.Fprintf(stderr, "slrun: %v\n", err)
+			return 2
+		}
+	}
 
 	if len(procCounts) > 1 {
-		return runSweep(sc, *dataset, *seeding, *alg, procCounts, *jobs, stdout, stderr)
+		return runSweep(sc, *dataset, *seeding, *alg, procCounts, *jobs, steal, stdout, stderr)
 	}
-	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, stdout, stderr)
+	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, steal, stdout, stderr)
+}
+
+// applySteal folds the -steal-* flag overrides into a machine config,
+// keeping the campaign defaults for any flag left at its zero value.
+func applySteal(cfg *core.Config, steal core.StealParams) {
+	if steal.Batch > 0 {
+		cfg.Steal.Batch = steal.Batch
+	}
+	if steal.Fanout > 0 {
+		cfg.Steal.Fanout = steal.Fanout
+	}
+	if steal.Victim != "" {
+		cfg.Steal.Victim = steal.Victim
+	}
 }
 
 // runSweep executes one (dataset, seeding, algorithm) cell at several
 // processor counts on the campaign worker pool and prints a summary table.
-func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []int, jobs int, stdout, stderr io.Writer) int {
+func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []int, jobs int, steal core.StealParams, stdout, stderr io.Writer) int {
 	// The campaign keeps the scale's own ProcCounts so MemoryBudget (which
 	// derives from the sweep minimum) matches what a single -procs run of
 	// the same scale would use; the sweep cells come from the explicit key
 	// list below.
 	c := experiments.NewCampaign(sc)
 	c.Workers = jobs
+	c.Tune = func(cfg *core.Config) { applySteal(cfg, steal) }
 
 	keys := make([]experiments.Key, 0, len(procCounts))
 	for _, p := range procCounts {
@@ -136,13 +180,14 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 }
 
 // runSingle executes one configuration and prints the detailed report.
-func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, stdout, stderr io.Writer) int {
+func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, steal core.StealParams, stdout, stderr io.Writer) int {
 	prob, err := experiments.BuildProblem(experiments.Dataset(dataset), experiments.Seeding(seeding), sc)
 	if err != nil {
 		fmt.Fprintln(stderr, "slrun:", err)
 		return 2
 	}
 	cfg := experiments.MachineConfig(core.Algorithm(alg), procs, sc)
+	applySteal(&cfg, steal)
 	fmt.Fprintf(stdout, "running %s/%s with %s on %d processors (%d seeds, %d blocks, budget %d MB)\n",
 		dataset, seeding, alg, procs, len(prob.Seeds),
 		prob.Provider.Decomp().NumBlocks(), cfg.MemoryBudget>>20)
@@ -164,6 +209,10 @@ func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, pe
 	fmt.Fprintf(stdout, "streamlines done    %10d\n", s.StreamlinesCompleted)
 	fmt.Fprintf(stdout, "peak memory         %10d MB\n", s.PeakMemoryBytes>>20)
 	fmt.Fprintf(stdout, "load imbalance      %10.2f\n", s.Imbalance)
+	if core.Algorithm(alg) == core.WorkStealing {
+		fmt.Fprintf(stdout, "steals (hit/tried)  %7d/%d\n", s.StealHits, s.StealAttempts)
+		fmt.Fprintf(stdout, "tokens passed       %10d\n", s.TokensPassed)
+	}
 
 	if perProc {
 		fmt.Fprintln(stdout, "\nbusiest processors:")

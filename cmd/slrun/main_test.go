@@ -54,6 +54,12 @@ func TestRunBadFlags(t *testing.T) {
 		{"-seeding", "bogus", "-procs", "8,16"},
 		{"-alg", "bogus"},
 		{"-alg", "bogus", "-procs", "8,16"},
+		{"-alg", "stealing", "-steal-victim", "bogus"},
+		{"-alg", "stealing", "-steal-batch", "-5"},
+		{"-alg", "stealing", "-steal-fanout", "-1"},
+		// Steal flags are meaningless for the other algorithms; reject
+		// rather than silently ignore.
+		{"-alg", "hybrid", "-steal-batch", "16"},
 	}
 	for _, args := range cases {
 		var out, errw bytes.Buffer
@@ -82,6 +88,25 @@ func TestRunSingleSmallScale(t *testing.T) {
 	}
 	got := out.String()
 	for _, want := range []string{"wall clock", "block efficiency", "busiest processors", "proc    0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunStealingWithFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "astro", "-seeding", "sparse",
+		"-alg", "stealing", "-procs", "8", "-steal-batch", "4", "-steal-fanout", "2",
+		"-steal-victim", "roundrobin"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"steals (hit/tried)", "tokens passed"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}

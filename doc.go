@@ -1,16 +1,19 @@
 // Package repro is a from-scratch Go reproduction of Pugmire, Childs,
 // Garth, Ahern and Weber, "Scalable Computation of Streamlines on Very
-// Large Datasets" (SC 2009): three parallel streamline-computation
-// algorithms — Static Allocation, Load On Demand, and the paper's novel
-// Hybrid Master/Slave scheme — running on a deterministic simulated
-// cluster, together with the full evaluation campaign that regenerates
-// every figure of the paper's Section 5.
+// Large Datasets" (SC 2009): four parallel streamline-computation
+// algorithms — the paper's Static Allocation, Load On Demand and novel
+// Hybrid Master/Slave scheme, plus a decentralized Work Stealing
+// extension of its Section 8 outlook — running on a deterministic
+// simulated cluster, together with the full evaluation campaign that
+// regenerates every figure of the paper's Section 5 with a stealing
+// block alongside the paper's three algorithms.
 //
 // See README.md for a tour and DESIGN.md for the system inventory,
-// substitutions and design-choice notes. The entry points are:
+// substitutions, design-choice notes, and the work-stealing scheme
+// (DESIGN.md §6). The entry points are:
 //
-//   - internal/core: the three algorithms (core.Run)
+//   - internal/core: the four algorithms (core.Run)
 //   - internal/experiments: datasets, machine model, figure harness
 //   - cmd/slbench, cmd/slrun, cmd/slviz: command-line tools
-//   - examples/: runnable walkthroughs
+//   - examples/: runnable walkthroughs (see examples/README.md)
 package repro

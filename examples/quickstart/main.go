@@ -1,5 +1,5 @@
 // Quickstart: compute streamlines in a simple analytic field with each of
-// the three parallel algorithms and compare their profiles.
+// the four parallel algorithms and compare their profiles.
 //
 //	go run ./examples/quickstart
 //

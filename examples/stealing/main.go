@@ -1,0 +1,106 @@
+// Work stealing: the decentralized fourth algorithm (DESIGN.md §6).
+// A rotation field splits the seeds into two populations — corner seeds
+// whose orbits leave the box almost immediately, and center seeds that
+// circle until the step budget — so the block-grouped 1/n split leaves
+// some processors idle while others grind. This example shows Load On
+// Demand stuck with that imbalance, work stealing dissolving it, the
+// steal/token counters that expose the protocol, and the batch-size
+// trade-off.
+//
+//	go run ./examples/stealing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/integrate"
+	"repro/internal/seeds"
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+func main() {
+	// Two seed clusters with wildly different streamline lifetimes.
+	f := field.Rotation{Omega: 1, Box: vec.Box(vec.Of(-1, -1, -0.2), vec.Of(1, 1, 0.2))}
+	d := grid.NewDecomposition(f.Bounds(), 4, 4, 1, 16)
+	short := seeds.DenseCluster(f.Bounds(), vec.Of(0.85, 0.85, 0), 0.05, 100, 31)
+	long := seeds.DenseCluster(f.Bounds(), vec.Of(0.3, 0, 0), 0.05, 100, 37)
+	prob := core.Problem{
+		Provider: grid.AnalyticProvider{F: f, D: d},
+		Seeds:    append(short, long...),
+		IntOpts:  integrate.Options{Tol: 1e-5, HMax: 0.05},
+		MaxSteps: 500,
+	}
+
+	config := func(alg core.Algorithm) core.Config {
+		return core.Config{
+			Procs:       8,
+			Algorithm:   alg,
+			Disk:        store.DefaultDisk(),
+			Net:         comm.DefaultNetwork(),
+			CacheBlocks: 8,
+		}
+	}
+
+	fmt.Println("imbalanced workload: 100 short-lived + 100 long-lived streamlines")
+	fmt.Printf("%-9s %10s %10s %12s %8s %8s\n", "alg", "wall(s)", "io(s)", "imbalance", "steals", "tokens")
+	for _, alg := range []core.Algorithm{core.LoadOnDemand, core.WorkStealing} {
+		res, err := core.Run(prob, config(alg))
+		if err != nil {
+			log.Fatalf("%s: %v", alg, err)
+		}
+		s := res.Summary
+		fmt.Printf("%-9s %10.3f %10.3f %12.2f %8d %8d\n",
+			alg, s.WallClock, s.TotalIO, s.Imbalance, s.StealHits, s.TokensPassed)
+	}
+
+	// The same run, processor by processor: without stealing, the
+	// processors owning the long orbits do essentially all the steps.
+	fmt.Println("\nper-processor integration steps (ondemand vs stealing):")
+	var perAlg [2][]int64
+	for i, alg := range []core.Algorithm{core.LoadOnDemand, core.WorkStealing} {
+		res, err := core.Run(prob, config(alg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ps := range res.PerProc {
+			perAlg[i] = append(perAlg[i], ps.Steps)
+		}
+	}
+	fmt.Printf("%-10s", "proc")
+	for p := range perAlg[0] {
+		fmt.Printf("%8d", p)
+	}
+	fmt.Printf("\n%-10s", "ondemand")
+	for _, v := range perAlg[0] {
+		fmt.Printf("%8d", v)
+	}
+	fmt.Printf("\n%-10s", "stealing")
+	for _, v := range perAlg[1] {
+		fmt.Printf("%8d", v)
+	}
+	fmt.Println()
+
+	// Batch-size trade-off: one streamline per probe maximizes round
+	// trips; huge batches re-imbalance the ring with every transfer.
+	fmt.Println("\nsteal batch-size sweep:")
+	fmt.Printf("%-8s %10s %10s %10s\n", "batch", "wall(s)", "probes", "hits")
+	for _, batch := range []int{1, 4, 16, 64} {
+		cfg := config(core.WorkStealing)
+		cfg.Steal.Batch = batch
+		res, err := core.Run(prob, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summary
+		fmt.Printf("%-8d %10.3f %10d %10d\n", batch, s.WallClock, s.StealAttempts, s.StealHits)
+	}
+
+	fmt.Println("\n(all four algorithms produce bit-identical geometry; see")
+	fmt.Println(" TestAlgorithmEquivalence — stealing changes who integrates, not what)")
+}

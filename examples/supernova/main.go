@@ -1,7 +1,7 @@
 // Supernova: the paper's astrophysics case study (Figure 1). Streamlines
 // seeded outside the proto-neutron star trace the magnetic field inside
 // the supernova shock front; this example runs both the sparse and dense
-// seedings with all three algorithms, reproducing the Figure 5–8 story at
+// seedings with all four algorithms, reproducing the Figure 5–8 story at
 // example scale, and renders the Figure 1 analogue to supernova.ppm.
 //
 //	go run ./examples/supernova

@@ -1,5 +1,5 @@
-// Package core implements the paper's three parallel streamline
-// algorithms over the simulated cluster:
+// Package core implements four parallel streamline algorithms over the
+// simulated cluster — the paper's three plus a decentralized ablation:
 //
 //   - Static Allocation (Section 4.1): parallelize over blocks; each
 //     processor owns a fixed 1/n of the blocks and streamlines are
@@ -11,8 +11,13 @@
 //     dedicated masters dynamically assign both streamlines and blocks to
 //     slaves, applying the five rules (Assign-loaded, Assign-unloaded,
 //     Send-force, Send-hint, Load) in the paper's 7-step sequence.
+//   - Work Stealing (this repo's extension of the paper's Section 8
+//     outlook; see DESIGN.md §6): Load On Demand's 1/n split and LRU
+//     cache, but idle processors steal batches of inactive streamlines
+//     from probed victims, with termination detected by a circulating
+//     token ring — fully decentralized, no masters, no global counter.
 //
-// All three produce identical streamline geometry for a given problem —
+// All four produce identical streamline geometry for a given problem —
 // parallelization strategy must not change the numerics — which the
 // integration tests verify.
 package core
@@ -35,15 +40,23 @@ import (
 // Algorithm selects a parallelization strategy.
 type Algorithm string
 
-// The three algorithms of the paper.
+// The three algorithms of the paper, plus the decentralized
+// work-stealing ablation.
 const (
 	StaticAlloc  Algorithm = "static"
 	LoadOnDemand Algorithm = "ondemand"
 	HybridMS     Algorithm = "hybrid"
+	WorkStealing Algorithm = "stealing"
 )
 
-// Algorithms lists all strategies in presentation order.
-func Algorithms() []Algorithm { return []Algorithm{StaticAlloc, LoadOnDemand, HybridMS} }
+// Algorithms lists all strategies in presentation order: the paper's
+// three first, then the work-stealing extension.
+func Algorithms() []Algorithm {
+	return []Algorithm{StaticAlloc, LoadOnDemand, HybridMS, WorkStealing}
+}
+
+// PaperAlgorithms lists only the paper's original three strategies.
+func PaperAlgorithms() []Algorithm { return []Algorithm{StaticAlloc, LoadOnDemand, HybridMS} }
 
 // Problem describes one streamline computation: the dataset, the seed
 // set, and the integration budget.
@@ -130,6 +143,60 @@ func (h HybridParams) defaults() HybridParams {
 	return h
 }
 
+// VictimPolicy selects how the work-stealing algorithm picks probe
+// targets.
+type VictimPolicy string
+
+// Victim policies for work stealing.
+const (
+	// VictimRandom probes peers in a fresh random permutation each hungry
+	// round (deterministic: every processor carries its own seeded RNG).
+	VictimRandom VictimPolicy = "random"
+	// VictimRoundRobin walks the processor ring from wherever the last
+	// probe left off.
+	VictimRoundRobin VictimPolicy = "roundrobin"
+)
+
+// StealParams are the tuning constants of the Work Stealing algorithm.
+type StealParams struct {
+	// Batch is the maximum number of streamlines a victim hands over per
+	// successful probe (0 = DefaultSteal's 8).
+	Batch int
+	// Fanout is how many distinct victims a hungry processor probes
+	// before it goes quiet and waits for the termination token to re-arm
+	// it (0 = all peers, the liveness-maximizing default).
+	Fanout int
+	// Victim selects the probe-target policy (empty = VictimRandom).
+	Victim VictimPolicy
+}
+
+// DefaultSteal returns the work-stealing defaults: batches of 8, probe
+// every peer, random victim order.
+func DefaultSteal() StealParams {
+	return StealParams{Batch: 8, Fanout: 0, Victim: VictimRandom}
+}
+
+func (s StealParams) defaults() StealParams {
+	d := DefaultSteal()
+	if s.Batch <= 0 {
+		s.Batch = d.Batch
+	}
+	if s.Victim == "" {
+		s.Victim = d.Victim
+	}
+	return s
+}
+
+// Validate reports a descriptive error for malformed steal parameters.
+func (s StealParams) Validate() error {
+	switch s.Victim {
+	case "", VictimRandom, VictimRoundRobin:
+		return nil
+	default:
+		return fmt.Errorf("core: unknown victim policy %q", s.Victim)
+	}
+}
+
 // Config describes the simulated machine and the strategy to run.
 type Config struct {
 	Procs     int
@@ -157,6 +224,8 @@ type Config struct {
 	NoGeometry bool
 	// Hybrid holds the master/slave tuning parameters.
 	Hybrid HybridParams
+	// Steal holds the work-stealing tuning parameters.
+	Steal StealParams
 	// CollectTraces gathers the finished streamlines into the Result
 	// (costs host memory; used by tests, examples and rendering).
 	CollectTraces bool
@@ -168,12 +237,17 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: non-positive processor count %d", c.Procs)
 	}
 	switch c.Algorithm {
-	case StaticAlloc, LoadOnDemand, HybridMS:
+	case StaticAlloc, LoadOnDemand, HybridMS, WorkStealing:
 	default:
 		return fmt.Errorf("core: unknown algorithm %q", c.Algorithm)
 	}
 	if c.Algorithm == HybridMS && c.Procs < 2 {
 		return errors.New("core: hybrid needs at least 1 master and 1 slave")
+	}
+	if c.Algorithm == WorkStealing {
+		if err := c.Steal.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -208,6 +282,7 @@ func Run(p Problem, cfg Config) (*Result, error) {
 		cfg.Cost = DefaultCost()
 	}
 	cfg.Hybrid = cfg.Hybrid.defaults()
+	cfg.Steal = cfg.Steal.defaults()
 
 	r := &runState{
 		prob:    &p,
@@ -227,6 +302,8 @@ func Run(p Problem, cfg Config) (*Result, error) {
 		r.buildOnDemand()
 	case HybridMS:
 		r.buildHybrid()
+	case WorkStealing:
+		r.buildStealing()
 	}
 
 	simErr := r.kernel.Run()
@@ -314,7 +391,7 @@ func (r *runState) seedRecords() []seedRec {
 	return recs
 }
 
-// worker bundles the per-processor runtime pieces shared by all three
+// worker bundles the per-processor runtime pieces shared by all four
 // algorithms.
 type worker struct {
 	run   *runState

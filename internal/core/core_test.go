@@ -36,6 +36,7 @@ func testConfig(alg Algorithm, procs int) Config {
 		Net:         Config{}.Net, // zero net: filled below
 		CacheBlocks: 8,
 		Hybrid:      HybridParams{N: 4, NO: 80, NL: 8, W: 8},
+		Steal:       StealParams{Batch: 4},
 	}
 }
 
@@ -111,7 +112,7 @@ func TestAllSeedsComplete(t *testing.T) {
 }
 
 // TestAlgorithmEquivalence is the central correctness property: the
-// parallelization strategy must not change the numerics. All three
+// parallelization strategy must not change the numerics. All four
 // algorithms, at several processor counts, must produce bit-identical
 // streamline geometry.
 func TestAlgorithmEquivalence(t *testing.T) {
@@ -503,7 +504,7 @@ func TestManyProcsMoreThanSeeds(t *testing.T) {
 
 func TestSingleProcRuns(t *testing.T) {
 	p := testProblem(10)
-	for _, alg := range []Algorithm{StaticAlloc, LoadOnDemand} {
+	for _, alg := range []Algorithm{StaticAlloc, LoadOnDemand, WorkStealing} {
 		cfg := testConfig(alg, 1)
 		res := mustRun(t, p, cfg)
 		if res.Summary.StreamlinesCompleted != 10 {
@@ -532,7 +533,10 @@ func TestTokamakWorkingSetFitsCache(t *testing.T) {
 }
 
 func TestResultLabels(t *testing.T) {
-	if got := fmt.Sprint(Algorithms()); got != "[static ondemand hybrid]" {
+	if got := fmt.Sprint(Algorithms()); got != "[static ondemand hybrid stealing]" {
 		t.Errorf("Algorithms() = %s", got)
+	}
+	if got := fmt.Sprint(PaperAlgorithms()); got != "[static ondemand hybrid]" {
+		t.Errorf("PaperAlgorithms() = %s", got)
 	}
 }

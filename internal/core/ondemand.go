@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/grid"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -19,7 +18,9 @@ import (
 // no more work to be done on the in-memory blocks. ... Each processor
 // terminates independently when all of its streamlines have terminated."
 //
-// There is no communication at all in this algorithm.
+// There is no communication at all in this algorithm. The pending/
+// workable pool mechanics live in pool.go, shared with the work-stealing
+// algorithm (which is Load On Demand plus migration).
 
 func (r *runState) buildOnDemand() {
 	n := r.cfg.Procs
@@ -39,85 +40,26 @@ func (r *runState) buildOnDemand() {
 }
 
 // onDemandWorker is the per-processor body of the Load On Demand
-// algorithm.
+// algorithm: drain the workable streamlines, read the most-wanted block
+// when none are, finish when everything terminated.
 func (r *runState) onDemandWorker(w *worker, mine []seedRec) {
 	defer func() { w.stats.EndTime = w.proc.Now() }()
 
-	// pending holds active streamlines whose current block is not
-	// resident; workable holds those whose block is loaded.
-	pending := make(map[grid.BlockID][]*trace.Streamline)
-	var workable []*trace.Streamline
-	active := 0
-
-	place := func(sl *trace.Streamline) {
-		if _, ok := w.cache.TryGet(sl.Block); ok {
-			workable = append(workable, sl)
-		} else {
-			pending[sl.Block] = append(pending[sl.Block], sl)
-		}
-	}
-
+	pl := newPool(r, w)
 	for _, rec := range mine {
-		sl := trace.New(rec.id, rec.p, rec.block)
-		w.adoptStreamline(sl)
-		place(sl)
-		active++
+		pl.adopt(trace.New(rec.id, rec.p, rec.block))
 	}
 	if !w.checkMemory("initial streamlines") {
 		return
 	}
 
-	for active > 0 && !r.failed() {
-		// Integrate everything possible on the in-memory blocks.
-		for len(workable) > 0 {
-			sl := workable[len(workable)-1]
-			workable = workable[:len(workable)-1]
-
-			ev, ok := w.cache.TryGet(sl.Block)
-			if !ok {
-				// The block was evicted while this streamline waited.
-				pending[sl.Block] = append(pending[sl.Block], sl)
-				continue
-			}
-			if sl.Steps >= r.prob.maxSteps() {
-				sl.Status = trace.MaxedOut
-			} else {
-				w.advance(sl, ev, r.prob.Provider.Decomp().Bounds(sl.Block))
-			}
-			if !w.checkMemory("streamline geometry") {
-				return
-			}
-			if sl.Status.Terminated() {
-				r.complete(w, sl)
-				active--
-				continue
-			}
-			place(sl)
+	for pl.active > 0 && !r.failed() {
+		if len(pl.workable) > 0 {
+			pl.advanceOne()
+			continue
 		}
-		if active == 0 {
-			break
-		}
-
-		// No more work on loaded blocks: read the block that unblocks the
-		// most streamlines (deterministic tie-break on block ID).
-		best := grid.NoBlock
-		bestCount := 0
-		for b, sls := range pending {
-			if len(sls) > bestCount || (len(sls) == bestCount && (best == grid.NoBlock || b < best)) {
-				best, bestCount = b, len(sls)
-			}
-		}
-		if best == grid.NoBlock {
-			// All remaining streamlines vanished from pending: impossible
-			// unless bookkeeping broke.
-			r.fail(fmt.Errorf("core: ondemand worker %d stuck with %d active streamlines", w.end.Index(), active))
-			return
-		}
-		w.cache.Get(best)
-		if !w.checkMemory("block cache") {
-			return
-		}
-		workable = append(workable, pending[best]...)
-		delete(pending, best)
+		// No more work on loaded blocks: read the block that unblocks
+		// the most streamlines.
+		pl.loadBest()
 	}
 }

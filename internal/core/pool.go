@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// pool is the Load On Demand inner loop (paper Section 4.2), shared by
+// the ondemand and stealing algorithms: streamlines whose current block
+// is resident are workable; the rest wait in pending keyed by block, and
+// a block is read from disk only when nothing is workable. Both
+// algorithms advancing streamlines through identical pool operations is
+// what makes stealing "start exactly like Load On Demand" (DESIGN.md §6)
+// and keeps the §6 I/O-profile shape check meaningful.
+type pool struct {
+	r *runState
+	w *worker
+
+	pending  map[grid.BlockID][]*trace.Streamline
+	workable []*trace.Streamline
+	active   int
+}
+
+func newPool(r *runState, w *worker) *pool {
+	return &pool{r: r, w: w, pending: make(map[grid.BlockID][]*trace.Streamline)}
+}
+
+// place routes an active streamline to workable or pending depending on
+// whether its block is resident.
+func (pl *pool) place(sl *trace.Streamline) {
+	if _, ok := pl.w.cache.TryGet(sl.Block); ok {
+		pl.workable = append(pl.workable, sl)
+	} else {
+		pl.pending[sl.Block] = append(pl.pending[sl.Block], sl)
+	}
+}
+
+// adopt takes ownership of a streamline (a fresh seed or a stolen or
+// migrated arrival), accounting for its memory.
+func (pl *pool) adopt(sl *trace.Streamline) {
+	pl.w.adoptStreamline(sl)
+	pl.place(sl)
+	pl.active++
+}
+
+// advanceOne integrates the most recent workable streamline through its
+// current block, then re-places or completes it. It reports whether the
+// streamline terminated; callers must bail out if the run failed (the
+// memory check may trip).
+func (pl *pool) advanceOne() (terminated bool) {
+	sl := pl.workable[len(pl.workable)-1]
+	pl.workable = pl.workable[:len(pl.workable)-1]
+
+	ev, ok := pl.w.cache.TryGet(sl.Block)
+	if !ok {
+		// Evicted while it waited; back to pending.
+		pl.pending[sl.Block] = append(pl.pending[sl.Block], sl)
+		return false
+	}
+	if sl.Steps >= pl.r.prob.maxSteps() {
+		sl.Status = trace.MaxedOut
+	} else {
+		pl.w.advance(sl, ev, pl.r.prob.Provider.Decomp().Bounds(sl.Block))
+	}
+	if !pl.w.checkMemory("streamline geometry") {
+		return false
+	}
+	if sl.Status.Terminated() {
+		pl.r.complete(pl.w, sl)
+		pl.active--
+		return true
+	}
+	pl.place(sl)
+	return false
+}
+
+// loadBest reads the pending block that unblocks the most streamlines
+// (deterministic tie-break on block ID) and makes its streamlines
+// workable. Callers must bail out if the run failed.
+func (pl *pool) loadBest() {
+	best := grid.NoBlock
+	bestCount := 0
+	for b, sls := range pl.pending {
+		if len(sls) > bestCount || (len(sls) == bestCount && (best == grid.NoBlock || b < best)) {
+			best, bestCount = b, len(sls)
+		}
+	}
+	if best == grid.NoBlock {
+		// All remaining streamlines vanished from pending: impossible
+		// unless bookkeeping broke.
+		pl.r.fail(fmt.Errorf("core: worker %s stuck with %d active streamlines",
+			pl.w.proc.Name(), pl.active))
+		return
+	}
+	pl.w.cache.Get(best)
+	if !pl.w.checkMemory("block cache") {
+		return
+	}
+	pl.workable = append(pl.workable, pl.pending[best]...)
+	delete(pl.pending, best)
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Work Stealing (DESIGN.md §6): the decentralized ablation of the paper's
+// central claim. Every processor starts exactly like Load On Demand — a
+// contiguous 1/n split of the block-grouped seeds and a private LRU block
+// cache — but when its local pool runs dry it probes victims for batches
+// of inactive streamlines instead of idling. There is no master and no
+// global counter: termination is detected by a token circulating the
+// processor ring, carrying every processor's monotone completion count.
+//
+// Protocol invariants:
+//
+//   - A streamline is resident on exactly one processor (or in flight in
+//     exactly one steal reply), so summed completion counts can never
+//     exceed the seed total and equality implies global termination.
+//   - The token is passed only by idle processors; a busy processor holds
+//     it until its pool drains, so the ring generates no traffic while
+//     progress is being made elsewhere.
+//   - A hungry processor probes at most Fanout distinct victims, then
+//     goes quiet until the token's next visit re-arms it — probe traffic
+//     is bounded by token traffic, which is bounded by idleness.
+
+// --- work-stealing wire messages ---
+
+// msgStealReq asks a victim for a batch of inactive streamlines; the
+// sender is identified by the envelope.
+type msgStealReq struct{}
+
+// Bytes implements comm.Message.
+func (msgStealReq) Bytes() int64 { return 16 }
+
+// msgStealMiss is a victim's empty-handed reply (successful steals answer
+// with msgStreamlines instead).
+type msgStealMiss struct{}
+
+// Bytes implements comm.Message.
+func (msgStealMiss) Bytes() int64 { return 8 }
+
+// msgToken is the termination token: counts[i] is the last completion
+// count processor i wrote while holding it.
+type msgToken struct{ counts []int64 }
+
+// Bytes implements comm.Message.
+func (m msgToken) Bytes() int64 { return 16 + int64(len(m.counts))*8 }
+
+// --- construction ---
+
+func (r *runState) buildStealing() {
+	n := r.cfg.Procs
+	recs := r.seedRecords() // block-grouped, exactly like Load On Demand
+
+	for i := 0; i < n; i++ {
+		i := i
+		lo := i * len(recs) / n
+		hi := (i + 1) * len(recs) / n
+		mine := recs[lo:hi]
+		var t *thief
+		proc := r.kernel.Spawn(fmt.Sprintf("stealing-%d", i), func(p *sim.Proc) {
+			t.run(mine)
+		})
+		t = newThief(r, r.newWorker(proc, i, r.cfg.CacheBlocks), i, n)
+	}
+}
+
+// thief is the per-processor state of the work-stealing algorithm. The
+// name reflects the role every processor eventually plays; each is also a
+// victim for its peers.
+type thief struct {
+	r  *runState
+	w  *worker
+	me int // endpoint index
+	n  int // total processors
+
+	// pool is the Load On Demand work pool (pool.go), the part of the
+	// algorithm stealing inherits unchanged.
+	pool *pool
+
+	// completed counts terminations on this processor, monotonically; the
+	// token aggregates these across the ring.
+	completed int64
+	holding   bool    // this processor currently holds the token
+	counts    []int64 // the token's payload while held
+
+	// Probe state for one hungry round.
+	outstanding bool  // a probe is in flight, await its reply
+	probesLeft  int   // probes remaining before going quiet
+	fanout      int   // resolved probe budget per round
+	order       []int // victim order (random policy: fresh permutation per round)
+	orderPos    int
+	ring        int // roundrobin cursor into the peer list
+	peers       []int
+	rng         *rand.Rand
+
+	done bool
+}
+
+func newThief(r *runState, w *worker, me, n int) *thief {
+	t := &thief{
+		r:    r,
+		w:    w,
+		me:   me,
+		n:    n,
+		pool: newPool(r, w),
+		rng:  rand.New(rand.NewSource(int64(104729 + me))),
+	}
+	for p := 0; p < n; p++ {
+		if p != me {
+			t.peers = append(t.peers, p)
+		}
+	}
+	t.fanout = r.cfg.Steal.Fanout
+	if t.fanout <= 0 || t.fanout > len(t.peers) {
+		t.fanout = len(t.peers)
+	}
+	if me == 0 {
+		// The token starts on processor 0 — an arbitrary but fixed ring
+		// position, not a coordinator: every processor treats it alike.
+		t.holding = true
+		t.counts = make([]int64, n)
+	}
+	t.resetProbes()
+	return t
+}
+
+// --- main loop ---
+
+func (t *thief) run(mine []seedRec) {
+	defer func() { t.w.stats.EndTime = t.w.proc.Now() }()
+
+	for _, rec := range mine {
+		t.pool.adopt(trace.New(rec.id, rec.p, rec.block))
+	}
+	if !t.w.checkMemory("initial streamlines") {
+		return
+	}
+
+	for !t.done {
+		// Stay responsive: drain requests and replies between every unit
+		// of work so victims answer probes promptly.
+		for {
+			env, ok := t.w.end.TryRecv()
+			if !ok {
+				break
+			}
+			t.handle(env)
+			if t.done {
+				return
+			}
+		}
+		if t.r.failed() {
+			return
+		}
+
+		if len(t.pool.workable) > 0 {
+			if t.pool.advanceOne() {
+				t.completed++
+			}
+			continue
+		}
+		if t.pool.active > 0 {
+			t.pool.loadBest()
+			continue
+		}
+
+		// Pool dry. Keep the termination ring moving before probing.
+		if t.holding {
+			t.passToken()
+			continue
+		}
+		if !t.outstanding && t.probesLeft > 0 && t.n > 1 {
+			t.probe()
+			continue
+		}
+		// Quiet: wait for a reply, the token, work, or termination.
+		t.handle(t.w.end.Recv())
+	}
+}
+
+func (t *thief) handle(env comm.Envelope) {
+	switch m := env.Payload.(type) {
+	case msgStealReq:
+		t.reply(env.From)
+	case msgStreamlines: // a successful steal reply
+		for _, sl := range m.sls {
+			t.pool.adopt(sl)
+		}
+		t.w.stats.StealHits++
+		t.outstanding = false
+		t.resetProbes()
+		t.w.checkMemory("stolen streamlines")
+	case msgStealMiss:
+		// The probe budget was spent when the probe was sent (probe());
+		// a miss only frees the thief to try the next victim.
+		t.outstanding = false
+	case msgToken:
+		t.counts = m.counts
+		t.holding = true
+		t.resetProbes()
+		if t.pool.active == 0 {
+			// Idle processors forward immediately; busy ones hold the
+			// token until their pool drains.
+			t.passToken()
+		}
+	case msgAllDone:
+		t.done = true
+	}
+}
+
+// --- stealing ---
+
+// resetProbes re-arms a full hungry round: a fresh probe budget and, for
+// the random policy, a fresh victim permutation.
+func (t *thief) resetProbes() {
+	t.probesLeft = t.fanout
+	if t.r.cfg.Steal.Victim == VictimRandom && len(t.peers) > 0 {
+		t.order = append(t.order[:0], t.peers...)
+		t.rng.Shuffle(len(t.order), func(i, j int) {
+			t.order[i], t.order[j] = t.order[j], t.order[i]
+		})
+		t.orderPos = 0
+	}
+}
+
+// probe sends one steal request to the next victim of the current round.
+func (t *thief) probe() {
+	var victim int
+	switch t.r.cfg.Steal.Victim {
+	case VictimRoundRobin:
+		victim = t.peers[t.ring%len(t.peers)]
+		t.ring++
+	default: // VictimRandom
+		victim = t.order[t.orderPos%len(t.order)]
+		t.orderPos++
+	}
+	t.probesLeft--
+	t.outstanding = true
+	t.w.stats.StealAttempts++
+	t.w.end.Send(victim, msgStealReq{})
+}
+
+// reply answers a probe: hand over up to Batch inactive streamlines
+// (keeping at least one if any remain), pending blocks first — the thief
+// pays their I/O instead of us — then the oldest workable ones.
+func (t *thief) reply(to int) {
+	loot := t.pickLoot()
+	if len(loot) == 0 {
+		t.w.end.Send(to, msgStealMiss{})
+		return
+	}
+	t.pool.active -= len(loot)
+	t.w.sendStreamlines(to, loot)
+}
+
+// pickLoot selects and removes the streamlines a steal reply carries.
+func (t *thief) pickLoot() []*trace.Streamline {
+	pl := t.pool
+	target := t.r.cfg.Steal.Batch
+	if target > pl.active-1 {
+		target = pl.active - 1
+	}
+	if target <= 0 {
+		return nil
+	}
+	var loot []*trace.Streamline
+	for _, b := range sortedBlocks(pl.pending) {
+		if len(loot) >= target {
+			break
+		}
+		sls := pl.pending[b]
+		take := target - len(loot)
+		if take > len(sls) {
+			take = len(sls)
+		}
+		loot = append(loot, sls[len(sls)-take:]...)
+		if take == len(sls) {
+			delete(pl.pending, b)
+		} else {
+			pl.pending[b] = sls[:len(sls)-take]
+		}
+	}
+	if take := target - len(loot); take > 0 && len(pl.workable) > 0 {
+		if take > len(pl.workable) {
+			take = len(pl.workable)
+		}
+		loot = append(loot, pl.workable[:take]...)
+		pl.workable = append(pl.workable[:0], pl.workable[take:]...)
+	}
+	return loot
+}
+
+// --- termination ring ---
+
+// passToken records this processor's completion count, declares global
+// termination if every streamline is accounted for, and otherwise
+// forwards the token around the ring.
+func (t *thief) passToken() {
+	t.counts[t.me] = t.completed
+	var sum int64
+	for _, c := range t.counts {
+		sum += c
+	}
+	if sum == int64(len(t.r.prob.Seeds)) {
+		t.w.end.Broadcast(msgAllDone{})
+		t.done = true
+		return
+	}
+	if t.n == 1 {
+		// A lone processor passes the token only when dry, which means
+		// everything completed; reaching here is a bookkeeping bug.
+		t.r.fail(fmt.Errorf("core: stealing token count %d of %d on a single processor", sum, len(t.r.prob.Seeds)))
+		return
+	}
+	t.holding = false
+	t.w.stats.TokensPassed++
+	t.w.end.Send((t.me+1)%t.n, msgToken{counts: t.counts})
+}

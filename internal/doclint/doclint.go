@@ -1,0 +1,214 @@
+// Package doclint enforces the repository's documentation contract: every
+// exported symbol under internal/... and cmd/... carries a doc comment,
+// and every relative markdown link resolves. It is a revive-style comment
+// lint without the external dependency: the checks run as ordinary tests
+// (and therefore in CI), so documentation regressions fail the build.
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Finding is one documentation violation.
+type Finding struct {
+	Pos  string // file:line
+	What string // human-readable description
+}
+
+// String implements fmt.Stringer.
+func (f Finding) String() string { return f.Pos + ": " + f.What }
+
+// CheckDir parses every non-test .go file under root (recursively) and
+// returns a finding for each exported package, type, function, method,
+// constant or variable that lacks a doc comment. Grouped const/var
+// declarations are satisfied by a single comment on the group.
+func CheckDir(root string) ([]Finding, error) {
+	var findings []Finding
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("doclint: %s: %w", path, err)
+		}
+		findings = append(findings, checkFile(fset, file)...)
+		return nil
+	})
+	return findings, err
+}
+
+func checkFile(fset *token.FileSet, file *ast.File) []Finding {
+	var findings []Finding
+	add := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		findings = append(findings, Finding{
+			Pos:  fmt.Sprintf("%s:%d", p.Filename, p.Line),
+			What: what,
+		})
+	}
+
+	// Package comments are a per-package property (one canonical file
+	// carries it), checked separately by CheckPackageComments.
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					// Methods on unexported receivers never appear in
+					// godoc (e.g. interface plumbing on private types),
+					// matching revive's exported rule.
+					if !receiverExported(d.Recv) {
+						continue
+					}
+					kind = "method"
+				}
+				add(d.Pos(), fmt.Sprintf("exported %s %s has no doc comment", kind, d.Name.Name))
+			}
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+						add(s.Pos(), fmt.Sprintf("exported type %s has no doc comment", s.Name.Name))
+					}
+				case *ast.ValueSpec:
+					if groupDoc || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							add(s.Pos(), fmt.Sprintf("exported %s %s has no doc comment (group comments count)", d.Tok, name.Name))
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// receiverExported reports whether a method's receiver names an exported
+// base type (pointers and generic instantiations unwrapped).
+func receiverExported(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// CheckPackageComments reports packages under root whose files carry no
+// package doc comment at all.
+func CheckPackageComments(root string) ([]Finding, error) {
+	type pkgState struct {
+		pos       token.Position
+		hasDoc    bool
+		firstFile string
+	}
+	pkgs := map[string]*pkgState{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		st, ok := pkgs[dir]
+		if !ok {
+			st = &pkgState{pos: fset.Position(file.Package), firstFile: path}
+			pkgs[dir] = st
+		}
+		if file.Doc != nil {
+			st.hasDoc = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for dir, st := range pkgs {
+		if !st.hasDoc {
+			findings = append(findings, Finding{
+				Pos:  st.firstFile + ":1",
+				What: fmt.Sprintf("package in %s has no package doc comment", dir),
+			})
+		}
+	}
+	return findings, nil
+}
+
+// mdLink matches inline markdown links; image links are included since
+// their targets must exist too.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// CheckMarkdownLinks scans the given markdown files for relative links
+// whose targets do not exist on disk. External (scheme-prefixed) and
+// intra-document (#fragment) links are skipped: the checker guards the
+// repository's own cross-references, not the internet.
+func CheckMarkdownLinks(files ...string) ([]Finding, error) {
+	var findings []Finding
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				if h := strings.IndexByte(target, '#'); h >= 0 {
+					target = target[:h]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(f), target)
+				if _, err := os.Stat(resolved); err != nil {
+					findings = append(findings, Finding{
+						Pos:  fmt.Sprintf("%s:%d", f, i+1),
+						What: fmt.Sprintf("broken link %q (resolved %s)", m[1], resolved),
+					})
+				}
+			}
+		}
+	}
+	return findings, nil
+}

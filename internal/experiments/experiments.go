@@ -298,6 +298,7 @@ func MachineConfig(alg core.Algorithm, procs int, sc Scale) core.Config {
 		DiskServers:  sc.DiskServers,
 		MemoryBudget: MemoryBudget(sc),
 		Hybrid:       core.DefaultHybrid(),
+		Steal:        core.DefaultSteal(),
 	}
 }
 
@@ -337,6 +338,11 @@ type Campaign struct {
 	// Log, when non-nil, receives progress lines as runs complete. Calls
 	// are serialized; completion order varies when Workers > 1.
 	Log func(string)
+	// Tune, when non-nil, adjusts each cell's machine configuration after
+	// MachineConfig builds it (e.g. the slrun steal-parameter flags). It
+	// must be deterministic: results are cached by Key alone, so Tune must
+	// give every execution of the same key the same configuration.
+	Tune func(*core.Config)
 
 	mu       sync.Mutex
 	results  map[Key]Outcome
@@ -447,6 +453,9 @@ func (c *Campaign) execute(k Key) Outcome {
 		return out
 	}
 	cfg := MachineConfig(k.Alg, k.Procs, c.Scale)
+	if c.Tune != nil {
+		c.Tune(&cfg)
+	}
 	res, err := core.Run(prob, cfg)
 	if err != nil {
 		out.Err = err

@@ -171,8 +171,8 @@ func TestThermalDenseStaticOOMSmallScale(t *testing.T) {
 		t.Fatalf("static dense thermal: err = %v, want OOM", err)
 	}
 
-	// And the other two algorithms must survive the same machine.
-	for _, alg := range []core.Algorithm{core.LoadOnDemand, core.HybridMS} {
+	// And the other three algorithms must survive the same machine.
+	for _, alg := range []core.Algorithm{core.LoadOnDemand, core.HybridMS, core.WorkStealing} {
 		cfg := MachineConfig(alg, sc.ProcCounts[len(sc.ProcCounts)-1], sc)
 		if _, err := core.Run(prob, cfg); err != nil {
 			t.Errorf("%s dense thermal failed: %v", alg, err)
@@ -187,12 +187,17 @@ func TestShapeChecksSmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign too slow for -short")
 	}
+	// Every §6 work-stealing claim must pass even here: stealing beating
+	// Static on dense seeding (it survives the OOM) and losing to Hybrid
+	// under fusion's block contention are robust at all scales, so none
+	// of them appear in the allow list.
 	c := NewCampaign(SmallScale())
 	allowFail := map[string]bool{
 		// Small-scale runs (64 tiny blocks, 1 ms reads, hundreds of
 		// seeds) compress the cost structure so much that several
-		// relative claims lose their regime; they are verified at the
-		// default scale by `slbench -shapes`.
+		// relative claims lose their regime; `slbench -shapes` at the
+		// default scale recovers some but not yet all of them (see
+		// ROADMAP.md open items).
 		"Fig 5 (sparse): Hybrid has the best astro wall clock":                                  true,
 		"Fig 8: Static communicates more than Hybrid (astro sparse)":                            true,
 		"Fig 11: Static communication is higher for dense fusion seeds":                         true,

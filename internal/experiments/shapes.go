@@ -35,8 +35,10 @@ func ShapeKeys(c *Campaign) []Key {
 
 // CheckShapes verifies the paper's qualitative findings — who wins, by
 // roughly what factor, and where the boundary cases fall — against the
-// campaign. Absolute numbers are not compared (our substrate is a
-// simulator, not JaguarPF); the shapes are.
+// campaign, plus the expected orderings of the work-stealing extension
+// (DESIGN.md §6) against the paper's three algorithms. Absolute numbers
+// are not compared (our substrate is a simulator, not JaguarPF); the
+// shapes are.
 func CheckShapes(c *Campaign) []ShapeResult {
 	top := c.Scale.ProcCounts[len(c.Scale.ProcCounts)-1]
 
@@ -160,6 +162,58 @@ func CheckShapes(c *Campaign) []ShapeResult {
 		add("Fig 14: dense thermal — Load-On-Demand I/O is minor relative to its runtime",
 			lIO < float64(top)*lWall/2,
 			fmt.Sprintf("totalIO=%.3f procs×wall=%.3f", lIO, float64(top)*lWall))
+	}
+
+	// --- Work stealing (DESIGN.md §6): is the master earning its keep? ---
+	// The decentralized fourth algorithm interrogates the paper's central
+	// claim by removing exactly one ingredient — the master's global view —
+	// while keeping dynamic load balancing.
+	{
+		st := get(Astro, Sparse, core.WorkStealing)
+		add("§6: stealing engages — probes hit at the top processor count (astro sparse)",
+			st.Err == nil && st.Summary.StealHits > 0 && st.Summary.TokensPassed > 0,
+			fmt.Sprintf("hits=%d/%d tokens=%d", st.Summary.StealHits, st.Summary.StealAttempts, st.Summary.TokensPassed))
+	}
+	{
+		// Stolen pending streamlines cost the thief block loads the victim
+		// might have amortized, so stealing pays somewhat more I/O than
+		// Load On Demand — but stays within a factor of two, nowhere near
+		// Static's ideal or the master-directed Hybrid placement.
+		stIO := sum(Astro, Sparse, core.WorkStealing).TotalIO
+		lIO := sum(Astro, Sparse, core.LoadOnDemand).TotalIO
+		add("§6: stealing inherits Load-On-Demand's I/O profile (astro sparse)",
+			within(stIO, lIO, 2),
+			fmt.Sprintf("stealing=%.2f ondemand=%.2f", stIO, lIO))
+	}
+	{
+		stA := sum(Astro, Dense, core.WorkStealing).WallClock
+		lA := sum(Astro, Dense, core.LoadOnDemand).WallClock
+		stF := sum(Fusion, Dense, core.WorkStealing).WallClock
+		lF := sum(Fusion, Dense, core.LoadOnDemand).WallClock
+		add("§6: dynamic balancing pays on dense seeds — stealing beats Load On Demand (astro, fusion)",
+			stA < lA && stF < lF,
+			fmt.Sprintf("astro stealing=%.3f ondemand=%.3f; fusion stealing=%.3f ondemand=%.3f", stA, lA, stF, lF))
+	}
+	{
+		stat := get(Thermal, Dense, core.StaticAlloc)
+		st := get(Thermal, Dense, core.WorkStealing)
+		add("§6: dense seeding — stealing's even split survives the budget that kills Static",
+			stat.Err != nil && st.Err == nil,
+			fmt.Sprintf("static err=%v, stealing err=%v", stat.Err, st.Err))
+	}
+	for _, seeding := range Seedings() {
+		h := sum(Fusion, seeding, core.HybridMS).WallClock
+		st := sum(Fusion, seeding, core.WorkStealing).WallClock
+		add(fmt.Sprintf("§6 (%s): stealing loses to Hybrid when block contention dominates (fusion)", seeding),
+			h < st,
+			fmt.Sprintf("hybrid=%.3f stealing=%.3f", h, st))
+	}
+	{
+		stComm := sum(Fusion, Sparse, core.WorkStealing).TotalComm
+		hComm := sum(Fusion, Sparse, core.HybridMS).TotalComm
+		add("§6: decentralized probing communicates less than master/slave coordination (fusion sparse)",
+			stComm < hComm,
+			fmt.Sprintf("stealing=%.4f hybrid=%.4f", stComm, hComm))
 	}
 
 	return out

@@ -31,6 +31,13 @@ type ProcStats struct {
 
 	StreamlinesCompleted int64
 	PeakMemoryBytes      int64
+
+	// Work-stealing counters (zero for the other algorithms): probes this
+	// processor sent, probes that returned streamlines, and termination
+	// tokens this processor forwarded around the ring.
+	StealAttempts int64
+	StealHits     int64
+	TokensPassed  int64
 }
 
 // ObserveMemory records a memory high-water mark.
@@ -91,6 +98,12 @@ type Summary struct {
 	StreamlinesCompleted int64
 	PeakMemoryBytes      int64 // max over processors
 
+	// StealAttempts/StealHits/TokensPassed aggregate the work-stealing
+	// algorithm's probe and termination-ring traffic (zero elsewhere).
+	StealAttempts int64
+	StealHits     int64
+	TokensPassed  int64
+
 	// Imbalance is max processor busy time over mean busy time; 1.0 is a
 	// perfectly balanced run. Busy = compute + I/O + comm.
 	Imbalance float64
@@ -115,6 +128,9 @@ func (c *Collector) Aggregate() Summary {
 		s.BytesSent += p.BytesSent
 		s.Steps += p.Steps
 		s.StreamlinesCompleted += p.StreamlinesCompleted
+		s.StealAttempts += p.StealAttempts
+		s.StealHits += p.StealHits
+		s.TokensPassed += p.TokensPassed
 		if p.PeakMemoryBytes > s.PeakMemoryBytes {
 			s.PeakMemoryBytes = p.PeakMemoryBytes
 		}
@@ -154,7 +170,8 @@ func (s Summary) String() string {
 
 // Table renders rows of (label, summary) pairs as an aligned text table
 // with one column per requested metric. Valid metric names: wall, io,
-// comm, efficiency, msgs, bytes, loads, purges, steps, imbalance.
+// comm, efficiency, msgs, bytes, loads, purges, steps, imbalance,
+// steals (hits/attempts), tokens.
 func Table(rows []TableRow, cols []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-28s", "run")
@@ -207,6 +224,10 @@ func (r TableRow) format(col string) string {
 		return fmt.Sprintf("%d", s.Steps)
 	case "imbalance":
 		return fmt.Sprintf("%.2f", s.Imbalance)
+	case "steals":
+		return fmt.Sprintf("%d/%d", s.StealHits, s.StealAttempts)
+	case "tokens":
+		return fmt.Sprintf("%d", s.TokensPassed)
 	default:
 		return "?"
 	}

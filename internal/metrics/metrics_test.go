@@ -46,6 +46,10 @@ func TestAggregate(t *testing.T) {
 	c.P(1).StreamlinesCompleted = 7
 	c.P(2).PeakMemoryBytes = 5000
 	c.P(0).PeakMemoryBytes = 2000
+	c.P(0).StealAttempts = 4
+	c.P(1).StealAttempts = 2
+	c.P(1).StealHits = 1
+	c.P(2).TokensPassed = 9
 
 	s := c.Aggregate()
 	if s.WallClock != 15 {
@@ -71,6 +75,9 @@ func TestAggregate(t *testing.T) {
 	}
 	if s.NumProcs != 3 {
 		t.Errorf("NumProcs = %d", s.NumProcs)
+	}
+	if s.StealAttempts != 6 || s.StealHits != 1 || s.TokensPassed != 9 {
+		t.Errorf("steal counters wrong: %+v", s)
 	}
 }
 
@@ -167,7 +174,7 @@ func TestTableRendering(t *testing.T) {
 func TestTableAllColumns(t *testing.T) {
 	c := NewCollector(1)
 	c.P(0).EndTime = 1
-	cols := []string{"wall", "io", "comm", "compute", "efficiency", "msgs", "bytes", "loads", "purges", "steps", "imbalance"}
+	cols := []string{"wall", "io", "comm", "compute", "efficiency", "msgs", "bytes", "loads", "purges", "steps", "imbalance", "steals", "tokens"}
 	out := Table([]TableRow{{Label: "x", Summary: c.Aggregate()}}, cols)
 	if strings.Contains(out, "?") {
 		t.Errorf("a known column rendered as unknown:\n%s", out)
