@@ -461,3 +461,32 @@ func BenchmarkFTLE(b *testing.B) {
 		analysis.FTLE(f, box, 8, 8, 1, analysis.FTLEOptions{T: 2, IntOpts: integrate.Options{Tol: 1e-5}})
 	}
 }
+
+// BenchmarkUnsteadyCampaign runs the unsteady (pathline) astro cell for
+// every algorithm, reporting the simulated cost of the time dimension:
+// the same seeds and spatial decomposition as the steady Figure 5-8
+// cell, but traced through space-time blocks (DESIGN.md §7).
+func BenchmarkUnsteadyCampaign(b *testing.B) {
+	sc := experiments.SmallScale()
+	procs := sc.ProcCounts[len(sc.ProcCounts)/2]
+	prob, err := experiments.BuildUnsteadyProblem(experiments.Astro, experiments.Sparse, sc, sc.TimeSlices)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range core.Algorithms() {
+		b.Run(string(alg), func(b *testing.B) {
+			cfg := experiments.UnsteadyMachineConfig(alg, procs, sc, sc.TimeSlices)
+			var s metrics.Summary
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(prob, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = res.Summary
+			}
+			b.ReportMetric(s.WallClock, "vwall-s")
+			b.ReportMetric(s.TotalIO, "vio-s")
+			b.ReportMetric(float64(s.EpochCrossings), "epochs")
+		})
+	}
+}

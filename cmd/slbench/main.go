@@ -16,6 +16,8 @@
 //	slbench -dataset fusion -csv  # fusion figures as CSV
 //	slbench -shapes               # also check the paper's qualitative claims
 //	slbench -j 1                  # serial execution (same tables, slower)
+//	slbench -unsteady             # the same sweeps as pathline campaigns
+//	slbench -unsteady -tslices 9  # finer time slicing (DESIGN.md §7)
 package main
 
 import (
@@ -45,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		verbose   = fs.Bool("v", false, "log every run as it completes")
 		shapes    = fs.Bool("shapes", false, "verify the paper's qualitative claims and report")
 		jobs      = fs.Int("j", 0, "sweep cells to run concurrently; 0 means one per CPU core")
+		unsteady  = fs.Bool("unsteady", false, "run the figure sweeps as pathline (time-sliced) campaigns")
+		tslices   = fs.Int("tslices", 0, "stored time slices for unsteady cells (0 = scale default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -58,9 +62,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "slbench: unknown scale %q\n", *scaleName)
 		return 2
 	}
+	if *tslices != 0 {
+		// -tslices shapes the unsteady cells, which only exist under
+		// -unsteady (figure sweeps) or -shapes (the §8 pathline checks);
+		// anywhere else the flag would be silently ignored.
+		if !*unsteady && !*shapes {
+			fmt.Fprintln(stderr, "slbench: -tslices requires -unsteady or -shapes")
+			return 2
+		}
+		if *tslices < 2 {
+			fmt.Fprintf(stderr, "slbench: need at least 2 time slices, got %d\n", *tslices)
+			return 2
+		}
+		sc.TimeSlices = *tslices
+	}
 
 	c := experiments.NewCampaign(sc)
 	c.Workers = *jobs
+	c.Unsteady = *unsteady
 	if *verbose {
 		c.Log = func(s string) { fmt.Fprintln(stderr, s) }
 	}
@@ -99,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *csv {
 			rows := c.FigureRows(fig)
 			fmt.Fprintf(stdout, "# Figure %d — %s\n%s\n", fig.ID, fig.Title,
-				metrics.CSV(rows, []string{fig.Metric}))
+				metrics.CSV(rows, c.FigureColumns(fig)))
 		} else {
 			fmt.Fprintln(stdout, c.FigureTable(fig))
 		}

@@ -78,3 +78,30 @@ func TestRunParallelMatchesSerialOutput(t *testing.T) {
 			serial.String(), parallel.String())
 	}
 }
+
+func TestRunUnsteadyFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-figure", "6", "-unsteady"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "u:astro/sparse/ondemand/8") {
+		t.Errorf("unsteady figure table missing pathline rows:\n%s", out.String())
+	}
+}
+
+func TestRunBadTimeSlices(t *testing.T) {
+	cases := [][]string{
+		{"-unsteady", "-tslices", "1"}, // too few slices
+		{"-tslices", "9"},              // no unsteady cells to shape
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

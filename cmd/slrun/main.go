@@ -9,11 +9,20 @@
 //
 // Usage:
 //
+// With -unsteady the same experiment traces pathlines instead: the
+// dataset's time-varying field is served as a time-sliced decomposition
+// (-tslices stored slices, default per scale) and every algorithm
+// works on space-time blocks (DESIGN.md §7).
+//
+// Usage examples:
+//
 //	slrun -dataset astro -seeding sparse -alg hybrid -procs 128
 //	slrun -dataset thermal -seeding dense -alg static   # reproduces the OOM
 //	slrun -alg ondemand -perproc                        # per-processor stats
 //	slrun -alg hybrid -procs 8,16,32,64 -j 4            # strong-scaling sweep
 //	slrun -alg stealing -steal-batch 16 -steal-victim roundrobin
+//	slrun -unsteady -alg ondemand                       # pathline campaign
+//	slrun -unsteady -tslices 9 -alg hybrid              # finer time slicing
 package main
 
 import (
@@ -64,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stealBatch  = fs.Int("steal-batch", 0, "stealing: streamlines per steal batch (0 = default 8)")
 		stealFanout = fs.Int("steal-fanout", 0, "stealing: victims probed per hungry round (0 = all peers)")
 		stealVictim = fs.String("steal-victim", "", "stealing: victim policy, random or roundrobin (empty = random)")
+		unsteady    = fs.Bool("unsteady", false, "trace pathlines through the dataset's time-varying field (DESIGN.md §7)")
+		tslices     = fs.Int("tslices", 0, "with -unsteady: stored time slices (0 = scale default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -118,11 +129,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	if *tslices != 0 && !*unsteady {
+		fmt.Fprintln(stderr, "slrun: -tslices requires -unsteady")
+		return 2
+	}
+	if *unsteady {
+		if *tslices != 0 {
+			sc.TimeSlices = *tslices
+		}
+		if sc.TimeSlices < 2 {
+			fmt.Fprintf(stderr, "slrun: need at least 2 time slices, got %d\n", sc.TimeSlices)
+			return 2
+		}
+	}
 
 	if len(procCounts) > 1 {
-		return runSweep(sc, *dataset, *seeding, *alg, procCounts, *jobs, steal, stdout, stderr)
+		return runSweep(sc, *dataset, *seeding, *alg, procCounts, *jobs, *unsteady, steal, stdout, stderr)
 	}
-	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, steal, stdout, stderr)
+	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, *unsteady, steal, stdout, stderr)
 }
 
 // applySteal folds the -steal-* flag overrides into a machine config,
@@ -141,7 +165,7 @@ func applySteal(cfg *core.Config, steal core.StealParams) {
 
 // runSweep executes one (dataset, seeding, algorithm) cell at several
 // processor counts on the campaign worker pool and prints a summary table.
-func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []int, jobs int, steal core.StealParams, stdout, stderr io.Writer) int {
+func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []int, jobs int, unsteady bool, steal core.StealParams, stdout, stderr io.Writer) int {
 	// The campaign keeps the scale's own ProcCounts so MemoryBudget (which
 	// derives from the sweep minimum) matches what a single -procs run of
 	// the same scale would use; the sweep cells come from the explicit key
@@ -153,10 +177,11 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 	keys := make([]experiments.Key, 0, len(procCounts))
 	for _, p := range procCounts {
 		keys = append(keys, experiments.Key{
-			Dataset: experiments.Dataset(dataset),
-			Seeding: experiments.Seeding(seeding),
-			Alg:     core.Algorithm(alg),
-			Procs:   p,
+			Dataset:  experiments.Dataset(dataset),
+			Seeding:  experiments.Seeding(seeding),
+			Alg:      core.Algorithm(alg),
+			Procs:    p,
+			Unsteady: unsteady,
 		})
 	}
 	c.RunKeys(keys)
@@ -170,7 +195,11 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 		}
 		rows = append(rows, metrics.TableRow{Label: k.Label(), Summary: out.Summary, Err: out.Err})
 	}
-	fmt.Fprint(stdout, metrics.Table(rows, []string{"wall", "io", "comm", "efficiency"}))
+	cols := []string{"wall", "io", "comm", "efficiency"}
+	if unsteady {
+		cols = append(cols, "epochs", "psteps")
+	}
+	fmt.Fprint(stdout, metrics.Table(rows, cols))
 	if failed > 0 {
 		// Match the single-run convention: any failed cell (e.g. the
 		// expected dense/static OOM) yields a non-zero exit.
@@ -180,17 +209,34 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 }
 
 // runSingle executes one configuration and prints the detailed report.
-func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, steal core.StealParams, stdout, stderr io.Writer) int {
-	prob, err := experiments.BuildProblem(experiments.Dataset(dataset), experiments.Seeding(seeding), sc)
+func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, unsteady bool, steal core.StealParams, stdout, stderr io.Writer) int {
+	var prob core.Problem
+	var err error
+	if unsteady {
+		prob, err = experiments.BuildUnsteadyProblem(experiments.Dataset(dataset), experiments.Seeding(seeding), sc, sc.TimeSlices)
+	} else {
+		prob, err = experiments.BuildProblem(experiments.Dataset(dataset), experiments.Seeding(seeding), sc)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "slrun:", err)
 		return 2
 	}
 	cfg := experiments.MachineConfig(core.Algorithm(alg), procs, sc)
+	if unsteady {
+		cfg = experiments.UnsteadyMachineConfig(core.Algorithm(alg), procs, sc, sc.TimeSlices)
+	}
 	applySteal(&cfg, steal)
-	fmt.Fprintf(stdout, "running %s/%s with %s on %d processors (%d seeds, %d blocks, budget %d MB)\n",
-		dataset, seeding, alg, procs, len(prob.Seeds),
-		prob.Provider.Decomp().NumBlocks(), cfg.MemoryBudget>>20)
+	d := prob.Provider.Decomp()
+	workload := "streamlines"
+	blocks := fmt.Sprintf("%d blocks", d.NumBlocks())
+	if unsteady {
+		workload = "pathlines"
+		blocks = fmt.Sprintf("%d space-time blocks (%d spatial x %d epochs)",
+			d.NumBlocks(), d.NumSpatialBlocks(), d.Epochs())
+	}
+	fmt.Fprintf(stdout, "running %s/%s %s with %s on %d processors (%d seeds, %s, budget %d MB)\n",
+		dataset, seeding, workload, alg, procs, len(prob.Seeds),
+		blocks, cfg.MemoryBudget>>20)
 
 	res, err := core.Run(prob, cfg)
 	if err != nil {
@@ -212,6 +258,9 @@ func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, pe
 	if core.Algorithm(alg) == core.WorkStealing {
 		fmt.Fprintf(stdout, "steals (hit/tried)  %7d/%d\n", s.StealHits, s.StealAttempts)
 		fmt.Fprintf(stdout, "tokens passed       %10d\n", s.TokensPassed)
+	}
+	if unsteady {
+		fmt.Fprintf(stdout, "epoch crossings     %10d\n", s.EpochCrossings)
 	}
 
 	if perProc {

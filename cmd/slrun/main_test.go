@@ -148,3 +148,52 @@ func TestRunSweepSmallScale(t *testing.T) {
 		}
 	}
 }
+
+func TestRunUnsteadyFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-tslices", "4"},              // -tslices without -unsteady
+		{"-unsteady", "-tslices", "1"}, // too few slices
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunUnsteadySingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "astro", "-seeding", "sparse",
+		"-alg", "ondemand", "-procs", "8", "-unsteady"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"pathlines", "space-time blocks", "epoch crossings"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunUnsteadySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "astro", "-seeding", "sparse",
+		"-alg", "stealing", "-procs", "8,16", "-unsteady", "-tslices", "3", "-j", "2"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"u:astro/sparse/stealing/8", "u:astro/sparse/stealing/16", "epochs"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -6,11 +6,14 @@
 // extension of its Section 8 outlook — running on a deterministic
 // simulated cluster, together with the full evaluation campaign that
 // regenerates every figure of the paper's Section 5 with a stealing
-// block alongside the paper's three algorithms.
+// block alongside the paper's three algorithms. Unsteady (time-varying)
+// flow is a first-class workload: the same campaigns trace pathlines
+// through time-sliced space-time blocks with the -unsteady flag, per
+// the paper's Section 4 block-with-a-time-step model.
 //
 // See README.md for a tour and DESIGN.md for the system inventory,
-// substitutions, design-choice notes, and the work-stealing scheme
-// (DESIGN.md §6). The entry points are:
+// substitutions, design-choice notes, the work-stealing scheme
+// (DESIGN.md §6) and the unsteady substrate (§7). The entry points are:
 //
 //   - internal/core: the four algorithms (core.Run)
 //   - internal/experiments: datasets, machine model, figure harness

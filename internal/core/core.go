@@ -17,9 +17,12 @@
 //     from probed victims, with termination detected by a circulating
 //     token ring — fully decentralized, no masters, no global counter.
 //
-// All four produce identical streamline geometry for a given problem —
+// All four trace either workload: steady streamlines, or — when the
+// problem's decomposition is time-sliced (DESIGN.md §7) — unsteady
+// pathlines through space-time blocks, with no per-algorithm forks.
+// All four produce identical geometry for a given problem —
 // parallelization strategy must not change the numerics — which the
-// integration tests verify.
+// integration tests and golden digests verify.
 package core
 
 import (
@@ -86,6 +89,11 @@ func (p *Problem) Validate() error {
 		return errors.New("core: no seeds")
 	}
 	d := p.Provider.Decomp()
+	if d.Unsteady() && d.T0 != 0 {
+		// Seeds are released at integration time zero (trace.New), so a
+		// time-sliced dataset must cover [0, T1].
+		return fmt.Errorf("core: unsteady decomposition starts at t=%g, want 0", d.T0)
+	}
 	for i, s := range p.Seeds {
 		if _, ok := d.Locate(s); !ok {
 			return fmt.Errorf("core: seed %d at %v outside domain %v", i, s, d.Domain)
@@ -375,6 +383,9 @@ type seedRec struct {
 
 // seedRecords locates every seed, sorted by (block, id) so contiguous
 // splits are grouped by block "to enhance data locality" (Section 4.2).
+// Seeds are released at the decomposition's initial time, so for
+// unsteady problems every seed starts in an epoch-0 space-time block —
+// which Locate already returns.
 func (r *runState) seedRecords() []seedRec {
 	d := r.prob.Provider.Decomp()
 	recs := make([]seedRec, len(r.prob.Seeds))
@@ -443,17 +454,48 @@ func (w *worker) checkMemory(what string) bool {
 // advance integrates sl inside evaluator ev, bounded by block bounds,
 // charging compute time. It updates the streamline's status and block.
 // Geometry growth is tracked against the memory budget.
+//
+// This one loop serves both workloads: when the decomposition is
+// time-sliced and the provider's evaluator answers time-dependent
+// queries (grid.EvaluatorT), the integration switches to the
+// non-autonomous solver and is additionally bounded by the current
+// block's epoch — crossing the epoch boundary moves the pathline to the
+// next space-time block exactly as leaving the spatial bounds moves a
+// streamline to a neighbor block. None of the four algorithms special-
+// case time: block handoff, caching and communication see only BlockIDs.
 func (w *worker) advance(sl *trace.Streamline, ev grid.Evaluator, bounds vec.AABB) {
 	p := w.run.prob
+	d := p.Provider.Decomp()
 	solver := integrate.NewDoPri5(p.IntOpts)
 	solver.H = sl.H
 
-	before := sl.MemoryBytes()
-	res := solver.Advect(ev, sl.P, sl.T, integrate.AdvectLimits{
+	lim := integrate.AdvectLimits{
 		Bounds:   bounds,
 		MaxSteps: p.maxSteps() - sl.Steps,
 		MaxTime:  p.MaxTime,
-	})
+	}
+	epoch := 0
+	var res integrate.AdvectResult
+	before := sl.MemoryBytes()
+	if d.Unsteady() {
+		tev, ok := ev.(grid.EvaluatorT)
+		if !ok {
+			w.run.fail(fmt.Errorf("core: unsteady decomposition served a time-independent evaluator for block %d", sl.Block))
+			sl.Status = trace.Failed
+			return
+		}
+		// Integrate at most to the end of this block's epoch; the data
+		// beyond it lives in a different (space-time) block.
+		epoch = d.Epoch(sl.Block)
+		_, horizon := d.EpochBounds(sl.Block)
+		if lim.MaxTime == 0 || horizon < lim.MaxTime {
+			lim.MaxTime = horizon
+		}
+		res = solver.AdvectT(tev, sl.P, sl.T, lim)
+		w.stats.PathlineSteps += int64(res.Steps)
+	} else {
+		res = solver.Advect(ev, sl.P, sl.T, lim)
+	}
 	sl.Append(res.Points)
 	sl.T = res.T
 	sl.Steps += res.Steps
@@ -469,22 +511,39 @@ func (w *worker) advance(sl *trace.Streamline, ev grid.Evaluator, bounds vec.AAB
 
 	switch res.Reason {
 	case integrate.StopOutOfBlock:
-		d := p.Provider.Decomp()
 		if nb, ok := d.Locate(sl.P); ok {
-			sl.Block = nb
+			// Same epoch, new spatial block (epoch is 0 when steady).
+			sl.Block = d.SpaceTimeID(nb, epoch)
 			// Still active; may re-trigger budget checks upstream.
 		} else {
 			sl.Status = trace.OutOfBounds
 			sl.Block = grid.NoBlock
 		}
-	case integrate.StopMaxSteps, integrate.StopMaxTime:
+	case integrate.StopMaxSteps:
 		sl.Status = trace.MaxedOut
+	case integrate.StopMaxTime:
+		if d.Unsteady() && epoch+1 < d.Epochs() &&
+			(p.MaxTime == 0 || res.T < p.MaxTime-timeEps) {
+			// Crossed an epoch boundary: same spatial position, next
+			// time slab. This is a block transition like any other —
+			// Static communicates it, the cached algorithms miss on it.
+			sl.Block = d.SpaceTimeID(d.Spatial(sl.Block), epoch+1)
+			w.stats.EpochCrossings++
+		} else {
+			// Reached the end of the data (or the problem's horizon).
+			sl.Status = trace.MaxedOut
+		}
 	case integrate.StopCritical:
 		sl.Status = trace.AtCritical
 	case integrate.StopError:
 		sl.Status = trace.Failed
 	}
 }
+
+// timeEps guards float comparisons against the integration-time horizon:
+// AdvectT lands on epoch boundaries by clamping the step size, so the
+// final time matches the horizon only up to rounding.
+const timeEps = 1e-12
 
 // --- wire messages shared by the algorithms ---
 

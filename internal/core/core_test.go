@@ -540,3 +540,146 @@ func TestResultLabels(t *testing.T) {
 		t.Errorf("PaperAlgorithms() = %s", got)
 	}
 }
+
+// testUnsteadyProblem builds a time-sliced workload: a pulsing rotation
+// field over a 4×4×4 spatial decomposition with 4 stored time slices
+// (3 epochs), seeds released at t = 0.
+func testUnsteadyProblem(nSeeds int) Problem {
+	f := unsteadyRotation{omega: 1.2, box: vec.Box(vec.Of(-1, -1, -1), vec.Of(1, 1, 1)), horizon: 2}
+	d := grid.NewDecomposition(f.Bounds(), 4, 4, 4, 16)
+	d.TimeSlices = 4
+	d.T0, d.T1 = 0, 2
+	return Problem{
+		Provider: grid.AnalyticProviderT{F: f, D: d},
+		Seeds:    seeds.SparseRandom(f.Bounds().Expand(-0.4), nSeeds, 202),
+		IntOpts:  integrate.Options{Tol: 1e-5, HMax: 0.05},
+		MaxSteps: 400,
+	}
+}
+
+// unsteadyRotation is a rotation whose angular velocity ramps with time,
+// so pathlines genuinely depend on t (a frozen field gives different
+// curves).
+type unsteadyRotation struct {
+	omega   float64
+	box     vec.AABB
+	horizon float64
+}
+
+func (u unsteadyRotation) Eval(p vec.V3) vec.V3 { return u.EvalAt(p, 0) }
+func (u unsteadyRotation) Bounds() vec.AABB     { return u.box }
+func (u unsteadyRotation) TimeRange() (float64, float64) {
+	return 0, u.horizon
+}
+func (u unsteadyRotation) EvalAt(p vec.V3, t float64) vec.V3 {
+	w := u.omega * (0.5 + t/u.horizon)
+	return vec.V3{X: -w * p.Y, Y: w * p.X, Z: 0.15 * w}
+}
+
+// TestUnsteadyAlgorithmEquivalence extends the central correctness
+// property to pathlines: all four algorithms tracing a time-sliced
+// problem must produce bit-identical geometry, with no per-algorithm
+// forks in the time handling.
+func TestUnsteadyAlgorithmEquivalence(t *testing.T) {
+	p := testUnsteadyProblem(40)
+
+	var reference []*trace.Streamline
+	var refAlg string
+	for _, alg := range Algorithms() {
+		for _, procs := range []int{2, 5} {
+			cfg := testConfig(alg, procs)
+			cfg.CollectTraces = true
+			res := mustRun(t, p, cfg)
+			if res.Summary.EpochCrossings == 0 {
+				t.Errorf("%s/%d: no epoch crossings; pathlines never left epoch 0", alg, procs)
+			}
+			if res.Summary.PathlineSteps != res.Summary.Steps {
+				t.Errorf("%s/%d: pathline steps %d != total steps %d on a pure unsteady run",
+					alg, procs, res.Summary.PathlineSteps, res.Summary.Steps)
+			}
+			if reference == nil {
+				reference, refAlg = res.Streamlines, fmt.Sprintf("%s/%d", alg, procs)
+				continue
+			}
+			for i, sl := range res.Streamlines {
+				ref := reference[i]
+				if len(sl.Points) != len(ref.Points) {
+					t.Fatalf("%s/%d: pathline %d has %d points, %s has %d",
+						alg, procs, sl.ID, len(sl.Points), refAlg, len(ref.Points))
+				}
+				for j := range sl.Points {
+					if sl.Points[j] != ref.Points[j] {
+						t.Fatalf("%s/%d: pathline %d point %d differs from %s: %v vs %v",
+							alg, procs, sl.ID, j, refAlg, sl.Points[j], ref.Points[j])
+					}
+				}
+				if sl.Status != ref.Status || sl.T != ref.T {
+					t.Errorf("%s/%d: pathline %d state (%v, t=%g) differs from %s (%v, t=%g)",
+						alg, procs, sl.ID, sl.Status, sl.T, refAlg, ref.Status, ref.T)
+				}
+			}
+		}
+	}
+}
+
+// TestUnsteadyDiffersFromFrozen guards against the time axis silently
+// degenerating: pathlines through the time-dependent field must differ
+// from streamlines through the same field frozen at t = 0.
+func TestUnsteadyDiffersFromFrozen(t *testing.T) {
+	up := testUnsteadyProblem(10)
+	fd := up.Provider.Decomp()
+	fd.TimeSlices, fd.T0, fd.T1 = 0, 0, 0
+	frozen := up
+	frozen.Provider = grid.AnalyticProvider{
+		F: grid.AnalyticProviderT(up.Provider.(grid.AnalyticProviderT)).F,
+		D: fd,
+	}
+	frozen.MaxTime = 2 // same horizon as the unsteady data range
+
+	cfg := testConfig(LoadOnDemand, 2)
+	cfg.CollectTraces = true
+	ur := mustRun(t, up, cfg)
+	fr := mustRun(t, frozen, cfg)
+	same := true
+	for i := range ur.Streamlines {
+		a, b := ur.Streamlines[i], fr.Streamlines[i]
+		if len(a.Points) != len(b.Points) {
+			same = false
+			break
+		}
+		for j := range a.Points {
+			if a.Points[j] != b.Points[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("pathlines identical to frozen-field streamlines; time dependence is not reaching the solver")
+	}
+}
+
+// TestUnsteadySampledProvider sends the materialized (two-slice) data
+// path through the engine: it must complete and stay close to the
+// analytic path.
+func TestUnsteadySampledProvider(t *testing.T) {
+	p := testUnsteadyProblem(8)
+	ap := p.Provider.(grid.AnalyticProviderT)
+	ps := p
+	ps.Provider = grid.SampledProviderT{F: ap.F, D: ap.D}
+
+	cfg := testConfig(LoadOnDemand, 2)
+	cfg.CollectTraces = true
+	ra := mustRun(t, p, cfg)
+	rs := mustRun(t, ps, cfg)
+	for i := range ra.Streamlines {
+		a, s := ra.Streamlines[i], rs.Streamlines[i]
+		n := len(a.Points)
+		if len(s.Points) < n {
+			n = len(s.Points)
+		}
+		probe := n / 4
+		if d := a.Points[probe].Dist(s.Points[probe]); d > 0.2 {
+			t.Errorf("pathline %d diverged by %g at point %d", i, d, probe)
+		}
+	}
+}

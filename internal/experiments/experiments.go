@@ -83,6 +83,10 @@ type Scale struct {
 	// 10 ms); reduced scales with tiny blocks use a smaller value so the
 	// latency:transfer ratio stays realistic.
 	DiskLatencySec float64
+	// TimeSlices is the number of stored time slices for unsteady
+	// (pathline) cells — the -tslices flag overrides it. Steady cells
+	// ignore it.
+	TimeSlices int
 }
 
 // ScaleByName resolves a scale name as used by the sl* commands' -scale
@@ -120,6 +124,7 @@ func PaperScale() Scale {
 		// the balance the paper's machines ran at.
 		HMax:        0.005,
 		DiskServers: 8,
+		TimeSlices:  9,
 	}
 }
 
@@ -151,6 +156,9 @@ func DefaultScale() Scale {
 	// processor's retained geometry versus its memory budget.
 	s.ThermalDenseSeeds = 22000
 	s.HMax = 0.01 // blocks are twice as wide as at paper scale
+	// 4 epochs: enough that pathlines sweep several time slabs within
+	// their step budget while the campaign stays minutes-scale.
+	s.TimeSlices = 5
 	return s
 }
 
@@ -173,6 +181,7 @@ func SmallScale() Scale {
 		HMax:              0.0125,
 		DiskServers:       4,
 		DiskLatencySec:    0.001, // 128 KB test blocks read fast
+		TimeSlices:        4,
 	}
 }
 
@@ -185,6 +194,23 @@ func (d Dataset) Field() field.Field {
 		return field.DefaultTokamak()
 	case Thermal:
 		return field.DefaultThermalHydraulics()
+	default:
+		panic(fmt.Sprintf("experiments: unknown dataset %q", d))
+	}
+}
+
+// FieldT returns the time-varying variant of a dataset's stand-in field,
+// used by the unsteady (pathline) campaign cells. Each variant shares
+// its steady counterpart's domain and qualitative structure (see
+// internal/field/unsteady.go).
+func (d Dataset) FieldT() field.FieldT {
+	switch d {
+	case Astro:
+		return field.DefaultPulsingSupernova()
+	case Fusion:
+		return field.DefaultSawtoothTokamak()
+	case Thermal:
+		return field.DefaultSwitchingThermal()
 	default:
 		panic(fmt.Sprintf("experiments: unknown dataset %q", d))
 	}
@@ -266,6 +292,43 @@ func BuildProblem(ds Dataset, seeding Seeding, sc Scale) (core.Problem, error) {
 	}, nil
 }
 
+// BuildUnsteadyProblem assembles the pathline (time-sliced) counterpart
+// of BuildProblem: the same spatial decomposition, seed set and
+// integration budget, but the dataset's time-varying field served over
+// tslices stored time slices. Every (spatial block, epoch) pair is then
+// an independent block (paper Section 4), so the four algorithms trace
+// pathlines through their unmodified block machinery.
+func BuildUnsteadyProblem(ds Dataset, seeding Seeding, sc Scale, tslices int) (core.Problem, error) {
+	if tslices < 2 {
+		return core.Problem{}, fmt.Errorf("experiments: need at least 2 time slices, got %d", tslices)
+	}
+	prob, err := BuildProblem(ds, seeding, sc)
+	if err != nil {
+		return core.Problem{}, err
+	}
+	f := ds.FieldT()
+	d := prob.Provider.Decomp()
+	d.TimeSlices = tslices
+	d.T0, d.T1 = f.TimeRange()
+	prob.Provider = grid.AnalyticProviderT{F: f, D: d}
+	return prob, nil
+}
+
+// memoryBudget sizes the per-processor memory limit against one block
+// model: Static's pinned share of all blocks at the smallest processor
+// count, plus the LRU cache, plus one quarter of the dense thermal
+// result geometry. Steady and unsteady budgets differ only in the
+// decomposition handed in (epochs multiply the block count, time
+// slicing doubles the block bytes).
+func memoryBudget(sc Scale, d grid.Decomposition) int64 {
+	blockBytes := d.BlockBytes()
+	blocks := sc.BlocksPerAxis * sc.BlocksPerAxis * sc.BlocksPerAxis * d.Epochs()
+	minProcs := sc.ProcCounts[0]
+	pinned := int64((blocks + minProcs - 1) / minProcs)
+	denseGeom := int64(sc.ThermalDenseSeeds) * int64(sc.ShortSteps) * trace.PointBytes
+	return pinned*blockBytes + int64(sc.CacheBlocks)*blockBytes + denseGeom/8
+}
+
 // MemoryBudget returns the per-processor memory limit for the campaign:
 // enough for the pinned static-allocation working set at the smallest
 // processor count plus the block cache plus one quarter of the dense
@@ -273,13 +336,7 @@ func BuildProblem(ds Dataset, seeding Seeding, sc Scale) (core.Problem, error) {
 // results therefore exceeds it — the paper's Figure 13 OOM — while every
 // balanced distribution fits.
 func MemoryBudget(sc Scale) int64 {
-	d := grid.Decomposition{CellsPerAxis: sc.CellsPerAxis, Ghost: 1}
-	blockBytes := d.BlockBytes()
-	blocks := sc.BlocksPerAxis * sc.BlocksPerAxis * sc.BlocksPerAxis
-	minProcs := sc.ProcCounts[0]
-	pinned := int64((blocks + minProcs - 1) / minProcs)
-	denseGeom := int64(sc.ThermalDenseSeeds) * int64(sc.ShortSteps) * trace.PointBytes
-	return pinned*blockBytes + int64(sc.CacheBlocks)*blockBytes + denseGeom/8
+	return memoryBudget(sc, grid.Decomposition{CellsPerAxis: sc.CellsPerAxis, Ghost: 1})
 }
 
 // MachineConfig builds the simulated-cluster configuration for one run.
@@ -302,17 +359,44 @@ func MachineConfig(alg core.Algorithm, procs int, sc Scale) core.Config {
 	}
 }
 
+// UnsteadyMemoryBudget sizes the per-processor memory limit for a
+// time-sliced run the same way MemoryBudget does for a steady one, but
+// against space-time blocks: Static's pinned share at the smallest
+// processor count covers spatial blocks × epochs, and every block holds
+// two bounding time slices (the decomposition's doubled BlockBytes).
+func UnsteadyMemoryBudget(sc Scale, tslices int) int64 {
+	return memoryBudget(sc, grid.Decomposition{CellsPerAxis: sc.CellsPerAxis, Ghost: 1, TimeSlices: tslices, T1: 1})
+}
+
+// UnsteadyMachineConfig builds the cluster configuration for a pathline
+// run: the same machine as MachineConfig with the memory budget resized
+// for space-time blocks.
+func UnsteadyMachineConfig(alg core.Algorithm, procs int, sc Scale, tslices int) core.Config {
+	cfg := MachineConfig(alg, procs, sc)
+	cfg.MemoryBudget = UnsteadyMemoryBudget(sc, tslices)
+	return cfg
+}
+
 // Key identifies one run of the campaign.
 type Key struct {
 	Dataset Dataset
 	Seeding Seeding
 	Alg     core.Algorithm
 	Procs   int
+	// Unsteady selects the time-sliced (pathline) variant of the cell:
+	// the dataset's time-varying field over Scale.TimeSlices stored
+	// slices, traced by the same four algorithms.
+	Unsteady bool
 }
 
-// Label renders the key the way tables list runs.
+// Label renders the key the way tables list runs; unsteady (pathline)
+// cells carry a "u:" prefix.
 func (k Key) Label() string {
-	return fmt.Sprintf("%s/%s/%s/%d", k.Dataset, k.Seeding, k.Alg, k.Procs)
+	prefix := ""
+	if k.Unsteady {
+		prefix = "u:"
+	}
+	return fmt.Sprintf("%s%s/%s/%s/%d", prefix, k.Dataset, k.Seeding, k.Alg, k.Procs)
 }
 
 // Outcome is one run's result (Err records expected failures such as the
@@ -343,6 +427,10 @@ type Campaign struct {
 	// must be deterministic: results are cached by Key alone, so Tune must
 	// give every execution of the same key the same configuration.
 	Tune func(*core.Config)
+	// Unsteady, when set, makes the key enumerators (DatasetKeys, AllKeys,
+	// FigureKeys) emit the time-sliced pathline variant of every cell —
+	// the slbench -unsteady mode. Explicitly-built Keys are unaffected.
+	Unsteady bool
 
 	mu       sync.Mutex
 	results  map[Key]Outcome
@@ -365,10 +453,12 @@ func NewCampaign(sc Scale) *Campaign {
 }
 
 // problemKey indexes the memoized problems: every figure cell that shares
-// a (dataset, seeding) pair shares one grid/field/seed construction.
+// a (dataset, seeding, unsteady) triple shares one grid/field/seed
+// construction.
 type problemKey struct {
-	ds      Dataset
-	seeding Seeding
+	ds       Dataset
+	seeding  Seeding
+	unsteady bool
 }
 
 // problemEntry builds its problem exactly once, even under concurrent
@@ -379,11 +469,12 @@ type problemEntry struct {
 	err  error
 }
 
-// problem returns the memoized BuildProblem result for (ds, seeding).
-// The returned Problem is shared between concurrent core.Run calls; that
-// is safe because Run treats the problem as read-only (see core.Run).
-func (c *Campaign) problem(ds Dataset, seeding Seeding) (core.Problem, error) {
-	pk := problemKey{ds: ds, seeding: seeding}
+// problem returns the memoized BuildProblem (or BuildUnsteadyProblem)
+// result for (ds, seeding, unsteady). The returned Problem is shared
+// between concurrent core.Run calls; that is safe because Run treats the
+// problem as read-only (see core.Run).
+func (c *Campaign) problem(ds Dataset, seeding Seeding, unsteady bool) (core.Problem, error) {
+	pk := problemKey{ds: ds, seeding: seeding, unsteady: unsteady}
 	c.probMu.Lock()
 	e, ok := c.problems[pk]
 	if !ok {
@@ -392,7 +483,11 @@ func (c *Campaign) problem(ds Dataset, seeding Seeding) (core.Problem, error) {
 	}
 	c.probMu.Unlock()
 	e.once.Do(func() {
-		e.prob, e.err = BuildProblem(ds, seeding, c.Scale)
+		if unsteady {
+			e.prob, e.err = BuildUnsteadyProblem(ds, seeding, c.Scale, c.Scale.TimeSlices)
+		} else {
+			e.prob, e.err = BuildProblem(ds, seeding, c.Scale)
+		}
 	})
 	return e.prob, e.err
 }
@@ -447,12 +542,15 @@ func (c *Campaign) Run(k Key) Outcome {
 // execute performs the simulation for one configuration (no caching).
 func (c *Campaign) execute(k Key) Outcome {
 	out := Outcome{Key: k}
-	prob, err := c.problem(k.Dataset, k.Seeding)
+	prob, err := c.problem(k.Dataset, k.Seeding, k.Unsteady)
 	if err != nil {
 		out.Err = err
 		return out
 	}
 	cfg := MachineConfig(k.Alg, k.Procs, c.Scale)
+	if k.Unsteady {
+		cfg = UnsteadyMachineConfig(k.Alg, k.Procs, c.Scale, c.Scale.TimeSlices)
+	}
 	if c.Tune != nil {
 		c.Tune(&cfg)
 	}
@@ -485,7 +583,7 @@ func (c *Campaign) DatasetKeys(ds Dataset) []Key {
 	for _, seeding := range Seedings() {
 		for _, alg := range core.Algorithms() {
 			for _, procs := range c.Scale.ProcCounts {
-				keys = append(keys, Key{Dataset: ds, Seeding: seeding, Alg: alg, Procs: procs})
+				keys = append(keys, Key{Dataset: ds, Seeding: seeding, Alg: alg, Procs: procs, Unsteady: c.Unsteady})
 			}
 		}
 	}
@@ -574,9 +672,20 @@ func (c *Campaign) FigureRows(fig Figure) []metrics.TableRow {
 	return rows
 }
 
+// FigureColumns returns the metric columns a figure's table renders: the
+// figure's own metric, plus the epoch-crossing count when the campaign
+// runs unsteady (pathline) cells.
+func (c *Campaign) FigureColumns(fig Figure) []string {
+	cols := []string{fig.Metric}
+	if c.Unsteady {
+		cols = append(cols, "epochs")
+	}
+	return cols
+}
+
 // FigureTable renders one figure as an aligned text table.
 func (c *Campaign) FigureTable(fig Figure) string {
 	rows := c.FigureRows(fig)
 	return fmt.Sprintf("Figure %d — %s (scale %s)\n%s",
-		fig.ID, fig.Title, c.Scale.Name, metrics.Table(rows, []string{fig.Metric}))
+		fig.ID, fig.Title, c.Scale.Name, metrics.Table(rows, c.FigureColumns(fig)))
 }

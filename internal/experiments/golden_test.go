@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// updateGoldens rewrites testdata/goldens.txt from the current build:
+//
+//	go test ./internal/experiments -run TestGoldenDigests -update
+//
+// Only do this after deliberately changing the numerics (integrator,
+// fields, seeding); a scheduler or algorithm change must NOT move these
+// digests — that is the regression this test exists to catch.
+var updateGoldens = flag.Bool("update", false, "rewrite the golden geometry digests")
+
+// goldenScale is a trimmed configuration so the 24 runs (3 datasets ×
+// {steady, unsteady} × 4 algorithms) stay test-suite fast while still
+// crossing blocks, epochs and processor boundaries.
+func goldenScale() Scale {
+	sc := SmallScale()
+	sc.AstroSeeds = 50
+	sc.FusionSeeds = 40
+	sc.ThermalSparseGrid = 3
+	sc.MaxSteps = 250
+	return sc
+}
+
+// TestGoldenDigests pins the streamline/pathline geometry of every
+// (dataset × workload) cell to a checked-in SHA-256 digest, and asserts
+// all four algorithms produce that exact digest. Scheduler edits,
+// steal-policy tweaks or master-rule changes can therefore never
+// silently change results: any numerics drift fails here first.
+//
+// The digests are computed over exact IEEE-754 bits (trace.
+// CanonicalDigest). Go's floating-point evaluation of this code is
+// deterministic for a given architecture family; the goldens are
+// generated on linux/amd64 (the CI platform). If a toolchain change
+// legitimately moves them, regenerate with -update and say so in the
+// commit.
+func TestGoldenDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24 simulations too slow for -short")
+	}
+	sc := goldenScale()
+	procs := 8
+
+	got := map[string]string{}
+	for _, ds := range Datasets() {
+		for _, unsteady := range []bool{false, true} {
+			workload := "steady"
+			if unsteady {
+				workload = "unsteady"
+			}
+			key := fmt.Sprintf("%s/%s", ds, workload)
+
+			var prob core.Problem
+			var err error
+			if unsteady {
+				prob, err = BuildUnsteadyProblem(ds, Sparse, sc, sc.TimeSlices)
+			} else {
+				prob, err = BuildProblem(ds, Sparse, sc)
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+
+			ref := ""
+			refAlg := core.Algorithm("")
+			for _, alg := range core.Algorithms() {
+				cfg := MachineConfig(alg, procs, sc)
+				if unsteady {
+					cfg = UnsteadyMachineConfig(alg, procs, sc, sc.TimeSlices)
+				}
+				cfg.CollectTraces = true
+				res, err := core.Run(prob, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", key, alg, err)
+				}
+				digest := trace.CanonicalDigest(res.Streamlines)
+				if ref == "" {
+					ref, refAlg = digest, alg
+				} else if digest != ref {
+					t.Errorf("%s: %s digest %s differs from %s digest %s — algorithms no longer bit-identical",
+						key, alg, digest[:16], refAlg, ref[:16])
+				}
+			}
+			got[key] = ref
+		}
+	}
+
+	path := filepath.Join("testdata", "goldens.txt")
+	if *updateGoldens {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteString("# Golden geometry digests: <dataset>/<workload> <sha256>\n")
+		b.WriteString("# Regenerate with: go test ./internal/experiments -run TestGoldenDigests -update\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s %s\n", k, got[k])
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d goldens to %s", len(got), path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing goldens (%v); generate with -update", err)
+	}
+	want := map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[parts[0]] = parts[1]
+	}
+	if len(want) != len(got) {
+		t.Errorf("goldens file has %d entries, campaign produced %d", len(want), len(got))
+	}
+	for k, g := range got {
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("%s: no golden recorded (regenerate with -update)", k)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: digest %s... differs from golden %s... — geometry changed; if intentional, regenerate with -update",
+				k, g[:16], w[:16])
+		}
+	}
+}

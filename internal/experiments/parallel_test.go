@@ -108,11 +108,11 @@ func TestProblemMemoization(t *testing.T) {
 	}
 	// The memoized problem is shared: a second fetch returns the same
 	// backing seeds slice, not a rebuild.
-	p1, err := c.problem(Astro, Sparse)
+	p1, err := c.problem(Astro, Sparse, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, _ := c.problem(Astro, Sparse)
+	p2, _ := c.problem(Astro, Sparse, false)
 	if len(p1.Seeds) == 0 || &p1.Seeds[0] != &p2.Seeds[0] {
 		t.Error("problem(Astro, Sparse) rebuilt instead of memoized")
 	}

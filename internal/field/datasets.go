@@ -235,7 +235,14 @@ func (t ThermalHydraulics) Name() string { return "thermal" }
 
 // Eval implements Field.
 func (t ThermalHydraulics) Eval(p vec.V3) vec.V3 {
-	v := t.jet(p, t.InletA).Add(t.jet(p, t.InletB))
+	return t.jet(p, t.InletA).Add(t.jet(p, t.InletB)).Add(t.ambient(p))
+}
+
+// ambient returns everything but the inlet jets — recirculation, outlet
+// sink and near-inlet turbulence — so unsteady variants can re-weight
+// the jets without duplicating the rest of the flow.
+func (t ThermalHydraulics) ambient(p vec.V3) vec.V3 {
+	var v vec.V3
 
 	// Box-scale recirculation: a vortex about an axis through the box
 	// center, parallel to y, so fluid sweeps from the inlet wall along the

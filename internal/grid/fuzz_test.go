@@ -1,0 +1,111 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/vec"
+)
+
+// Fuzz harness for trilinear interpolation at block and ghost
+// boundaries. The seed corpus runs as ordinary deterministic tests on
+// every `go test` (and in CI); `go test -fuzz=FuzzTrilinear ./internal/grid`
+// explores further.
+//
+// The central invariant: trilinear interpolation reproduces an affine
+// field exactly (up to rounding), everywhere in the sampled extent —
+// including block faces, ghost layers and the clamped exterior.
+
+func FuzzTrilinearInterpolation(f *testing.F) {
+	f.Add(1.0, -2.0, 0.5, 0.1, 0.2, 0.3, 0.0, 0.0, 0.0, uint8(0), uint8(1))
+	f.Add(0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, uint8(3), uint8(2))
+	f.Add(2.5, 2.5, -2.5, 0.0, -1.0, 1.0, 1.0, 0.0, 1.0, uint8(7), uint8(0))
+	f.Add(-0.3, 0.7, 1.1, -0.2, 0.4, -0.6, 0.25, 1.0, 0.75, uint8(5), uint8(3))
+
+	f.Fuzz(func(t *testing.T, ax, ay, az, bx, by, bz, fx, fy, fz float64, blockSel, ghost uint8) {
+		for _, v := range []float64{ax, ay, az, bx, by, bz, fx, fy, fz} {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		lin := field.Linear{
+			A:   vec.Of(ax, ay, az),
+			B:   vec.Of(bx, by, bz),
+			Box: vec.Box(vec.Of(-1, -1, -1), vec.Of(1, 1, 1)),
+		}
+		d := NewDecomposition(lin.Box, 2, 2, 2, 4)
+		d.Ghost = int(ghost % 3) // 0, 1 or 2 ghost layers
+		id := BlockID(blockSel % 8)
+		b := SampleBlock(lin, d, id)
+
+		// Map the fuzzed fractions into the sampled extent, snapping to
+		// the exact boundary when the fraction is 0 or 1 — faces and
+		// ghost edges are where indexing bugs live.
+		ext := b.Bounds()
+		frac := func(v float64) float64 {
+			v = math.Mod(math.Abs(v), 1.0001)
+			if v > 1 {
+				return 1
+			}
+			return v
+		}
+		p := vec.Of(
+			ext.Min.X+(ext.Max.X-ext.Min.X)*frac(fx),
+			ext.Min.Y+(ext.Max.Y-ext.Min.Y)*frac(fy),
+			ext.Min.Z+(ext.Max.Z-ext.Min.Z)*frac(fz),
+		)
+
+		got := b.Eval(p)
+		want := lin.Eval(p)
+		scale := 1.0 + want.Norm()
+		if got.Dist(want) > 1e-9*scale {
+			t.Fatalf("block %d ghost %d at %v: interpolated %v, exact %v", id, d.Ghost, p, got, want)
+		}
+
+		// Clamping: points beyond the sampled extent must still produce
+		// finite values (the clamp pins to the boundary sample).
+		outside := ext.Max.Add(vec.Of(1, 2, 3))
+		if !b.Eval(outside).IsFinite() {
+			t.Fatalf("non-finite value outside the sampled extent")
+		}
+	})
+}
+
+// FuzzLocateOwnership checks the exclusive-ownership contract of Locate
+// on arbitrary points: every in-domain point has exactly one owner, and
+// the owner's bounds contain it (lower faces inclusive).
+func FuzzLocateOwnership(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, uint8(2), uint8(3), uint8(4))
+	f.Add(1.0, 1.0, 1.0, uint8(1), uint8(1), uint8(1))
+	f.Add(0.5, 0.25, 0.75, uint8(4), uint8(2), uint8(5))
+	f.Add(-0.1, 0.5, 0.5, uint8(3), uint8(3), uint8(3))
+
+	f.Fuzz(func(t *testing.T, px, py, pz float64, nx, ny, nz uint8) {
+		if math.IsNaN(px) || math.IsNaN(py) || math.IsNaN(pz) {
+			t.Skip()
+		}
+		d := NewDecomposition(
+			vec.Box(vec.Of(0, 0, 0), vec.Of(1, 1, 1)),
+			int(nx%6)+1, int(ny%6)+1, int(nz%6)+1, 4)
+		p := vec.Of(px, py, pz)
+		id, ok := d.Locate(p)
+		if !ok {
+			if d.Domain.Contains(p) {
+				t.Fatalf("in-domain point %v not located", p)
+			}
+			return
+		}
+		if id < 0 || int(id) >= d.NumBlocks() {
+			t.Fatalf("block id %d out of range", id)
+		}
+		// The owner's bounds contain the point, allowing the shared-face
+		// convention: a point on an interior upper face belongs to the
+		// next block, so containment is within one cell of rounding.
+		bb := d.Bounds(id)
+		grow := d.BlockSize().Scale(1e-12)
+		if !(vec.AABB{Min: bb.Min.Sub(grow), Max: bb.Max.Add(grow)}).Contains(p) {
+			t.Fatalf("point %v outside its owner %d bounds %v", p, id, bb)
+		}
+	})
+}

@@ -41,6 +41,19 @@ type Decomposition struct {
 	CellsPerAxis int // cells per block along each axis
 	Ghost        int // ghost layers per face
 	BytesPerCell int // simulated storage footprint; 0 means 12 (3 × float32)
+
+	// TimeSlices is the number of stored time slices NT; 0 or 1 means a
+	// steady (single-snapshot) dataset. With NT slices the decomposition
+	// has NT−1 epochs, each bounded by two adjacent slices; the unit of
+	// I/O, caching, ownership and communication is then a space-time
+	// block (see spacetime.go), following the paper's Section 4 model:
+	// "Each block has a time step associated with it, thus two blocks
+	// that occupy the same space at different times are considered
+	// independent."
+	TimeSlices int
+	// T0, T1 bound the simulated time interval the slices cover
+	// (required when TimeSlices > 1, ignored otherwise).
+	T0, T1 float64
 }
 
 // NewDecomposition builds a decomposition of domain into nx × ny × nz
@@ -70,21 +83,36 @@ func (d Decomposition) Validate() error {
 	if d.Domain.IsEmpty() || d.Domain.Volume() == 0 {
 		return fmt.Errorf("grid: empty domain %v", d.Domain)
 	}
+	if d.TimeSlices < 0 {
+		return fmt.Errorf("grid: negative time slices %d", d.TimeSlices)
+	}
+	if d.Unsteady() && !(d.T1 > d.T0) {
+		return fmt.Errorf("grid: empty time range [%g, %g] with %d slices", d.T0, d.T1, d.TimeSlices)
+	}
 	return nil
 }
 
-// NumBlocks returns the total number of blocks.
-func (d Decomposition) NumBlocks() int { return d.NX * d.NY * d.NZ }
+// NumSpatialBlocks returns the number of spatially disjoint blocks,
+// ignoring any time slicing.
+func (d Decomposition) NumSpatialBlocks() int { return d.NX * d.NY * d.NZ }
+
+// NumBlocks returns the total number of blocks — the unit the algorithms
+// own, cache and communicate. For a steady decomposition this equals
+// NumSpatialBlocks; for an unsteady one it is spatial blocks × epochs,
+// because each epoch of each spatial block is an independent block.
+func (d Decomposition) NumBlocks() int { return d.NumSpatialBlocks() * d.Epochs() }
 
 // ID converts block coordinates to a BlockID. Coordinates must be in
-// range.
+// range. For unsteady decompositions the result identifies the epoch-0
+// block; combine with SpaceTimeID for later epochs.
 func (d Decomposition) ID(i, j, k int) BlockID {
 	return BlockID((k*d.NY+j)*d.NX + i)
 }
 
-// Coords converts a BlockID back to block coordinates.
+// Coords converts a BlockID back to spatial block coordinates (the time
+// component, if any, is stripped first).
 func (d Decomposition) Coords(id BlockID) (i, j, k int) {
-	n := int(id)
+	n := int(d.Spatial(id))
 	i = n % d.NX
 	j = (n / d.NX) % d.NY
 	k = n / (d.NX * d.NY)
@@ -123,10 +151,11 @@ func (d Decomposition) GhostBounds(id BlockID) vec.AABB {
 	return grown.Intersect(d.Domain)
 }
 
-// Locate returns the block that owns point p. Ownership is exclusive: a
-// point on an interior face belongs to the higher-index block (lower faces
-// are inclusive). Points on the domain's upper faces are owned by the last
-// block along that axis; points outside return (NoBlock, false).
+// Locate returns the spatial (epoch-0) block that owns point p.
+// Ownership is exclusive: a point on an interior face belongs to the
+// higher-index block (lower faces are inclusive). Points on the domain's
+// upper faces are owned by the last block along that axis; points outside
+// return (NoBlock, false). For time-sliced lookups use LocateAt.
 func (d Decomposition) Locate(p vec.V3) (BlockID, bool) {
 	if !d.Domain.Contains(p) {
 		return NoBlock, false
@@ -149,8 +178,9 @@ func clampIndex(i, n int) int {
 	return i
 }
 
-// Neighbors returns the face-adjacent neighbors of block id, in
-// deterministic (-x, +x, -y, +y, -z, +z) order.
+// Neighbors returns the face-adjacent spatial neighbors of block id, in
+// deterministic (-x, +x, -y, +y, -z, +z) order. The time component, if
+// any, is stripped: neighbors are reported in epoch 0.
 func (d Decomposition) Neighbors(id BlockID) []BlockID {
 	i, j, k := d.Coords(id)
 	out := make([]BlockID, 0, 6)
@@ -178,21 +208,30 @@ func (d Decomposition) Neighbors(id BlockID) []BlockID {
 // BlockBytes returns the simulated storage footprint of one block,
 // including ghost layers. The default of 12 bytes per cell corresponds to
 // a 3-component float32 vector, matching the paper's ~12 MB per 1M-cell
-// block.
+// block. For an unsteady decomposition a block is a space-time epoch,
+// whose materialization holds the two time slices bounding it — twice
+// the spatial bytes. This is the cache-pressure doubling the paper's
+// Section 8 flags for pathlines ("many small reads that can often
+// overwhelm the file system"); adjacent epochs sharing a slice are
+// charged independently, per the Section 4 independent-block model.
 func (d Decomposition) BlockBytes() int64 {
 	bpc := d.BytesPerCell
 	if bpc == 0 {
 		bpc = 12
 	}
 	n := int64(d.CellsPerAxis + 2*d.Ghost)
-	return n * n * n * int64(bpc)
+	bytes := n * n * n * int64(bpc)
+	if d.Unsteady() {
+		bytes *= 2
+	}
+	return bytes
 }
 
-// CellsTotal returns the total cell count of the decomposition (ghost
-// cells excluded).
+// CellsTotal returns the total cell count of the spatial mesh (ghost
+// cells excluded, time slices not multiplied).
 func (d Decomposition) CellsTotal() int64 {
 	c := int64(d.CellsPerAxis)
-	return c * c * c * int64(d.NumBlocks())
+	return c * c * c * int64(d.NumSpatialBlocks())
 }
 
 // Evaluator answers field queries over (at least) one block's extent.

@@ -282,9 +282,15 @@ func (s *DoPri5) Advect(f Evaluator, p vec.V3, t float64, lim AdvectLimits) Adve
 			return res
 		}
 		res.Evals++ // the speed check above
-		if lim.MaxTime > 0 && s.H > 0 {
+		if lim.MaxTime > 0 {
 			// Land exactly on the time horizon: flow-map analyses (FTLE)
-			// need neighboring trajectories to stop at identical times.
+			// need neighboring trajectories to stop at identical times,
+			// and epoch-bounded pathline advection must not overshoot
+			// into the next time slab. A fresh solver picks its initial
+			// step first so even the very first step is clamped.
+			if s.H == 0 {
+				s.H = s.initialStep(f, res.P)
+			}
 			if remain := lim.MaxTime - res.T; s.H > remain {
 				s.H = remain
 			}
@@ -411,7 +417,11 @@ func (s *DoPri5) AdvectT(f TimeEvaluator, p vec.V3, t float64, lim AdvectLimits)
 			return res
 		}
 		res.Evals++
-		if lim.MaxTime > 0 && s.H > 0 {
+		if lim.MaxTime > 0 {
+			// Same first-step horizon clamp as Advect.
+			if s.H == 0 {
+				s.H = s.initialStep(frozen{f, res.T}, res.P)
+			}
 			if remain := lim.MaxTime - res.T; s.H > remain {
 				s.H = remain
 			}

@@ -38,6 +38,15 @@ type ProcStats struct {
 	StealAttempts int64
 	StealHits     int64
 	TokensPassed  int64
+
+	// Pathline (unsteady-workload) counters, zero for steady runs:
+	// integration steps taken in time-dependent advection, and epoch
+	// boundaries crossed — each crossing is a block transition that
+	// exists only because the data is time-sliced, so the gap between
+	// EpochCrossings and total block transitions separates temporal from
+	// spatial block traffic.
+	PathlineSteps  int64
+	EpochCrossings int64
 }
 
 // ObserveMemory records a memory high-water mark.
@@ -104,6 +113,11 @@ type Summary struct {
 	StealHits     int64
 	TokensPassed  int64
 
+	// PathlineSteps/EpochCrossings aggregate the unsteady-workload
+	// counters (zero for steady runs).
+	PathlineSteps  int64
+	EpochCrossings int64
+
 	// Imbalance is max processor busy time over mean busy time; 1.0 is a
 	// perfectly balanced run. Busy = compute + I/O + comm.
 	Imbalance float64
@@ -131,6 +145,8 @@ func (c *Collector) Aggregate() Summary {
 		s.StealAttempts += p.StealAttempts
 		s.StealHits += p.StealHits
 		s.TokensPassed += p.TokensPassed
+		s.PathlineSteps += p.PathlineSteps
+		s.EpochCrossings += p.EpochCrossings
 		if p.PeakMemoryBytes > s.PeakMemoryBytes {
 			s.PeakMemoryBytes = p.PeakMemoryBytes
 		}
@@ -171,7 +187,8 @@ func (s Summary) String() string {
 // Table renders rows of (label, summary) pairs as an aligned text table
 // with one column per requested metric. Valid metric names: wall, io,
 // comm, efficiency, msgs, bytes, loads, purges, steps, imbalance,
-// steals (hits/attempts), tokens.
+// steals (hits/attempts), tokens, epochs (epoch crossings), psteps
+// (pathline steps).
 func Table(rows []TableRow, cols []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-28s", "run")
@@ -228,6 +245,10 @@ func (r TableRow) format(col string) string {
 		return fmt.Sprintf("%d/%d", s.StealHits, s.StealAttempts)
 	case "tokens":
 		return fmt.Sprintf("%d", s.TokensPassed)
+	case "epochs":
+		return fmt.Sprintf("%d", s.EpochCrossings)
+	case "psteps":
+		return fmt.Sprintf("%d", s.PathlineSteps)
 	default:
 		return "?"
 	}

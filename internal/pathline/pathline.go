@@ -1,11 +1,19 @@
-// Package pathline extends the streamline machinery to time-varying
-// fields — the paper's Section 8 future-work direction. Section 4 already
-// lays the groundwork: "Each block has a time step associated with it,
-// thus two blocks that occupy the same space at different times are
-// considered independent." This package implements that time-sliced block
-// model, an out-of-core pathline tracer over it, and the I/O accounting
-// that exposes the paper's observation that "computing pathlines leads to
-// many small reads that can often overwhelm the file system".
+// Package pathline is the single-processor reference implementation of
+// time-varying (pathline) tracing — the paper's Section 8 future-work
+// direction. Section 4 already lays the groundwork: "Each block has a
+// time step associated with it, thus two blocks that occupy the same
+// space at different times are considered independent." This package
+// implements that time-sliced block model, an out-of-core pathline
+// tracer over it, and the I/O accounting that exposes the paper's
+// observation that "computing pathlines leads to many small reads that
+// can often overwhelm the file system".
+//
+// The parallel engine supersedes this package for campaigns: a
+// time-sliced grid.Decomposition (grid/spacetime.go) routes the same
+// workload through all four algorithms in internal/core — see
+// DESIGN.md §7 and the -unsteady flag on slrun/slbench. The tracer here
+// remains as the minimal, dependency-light reference (used by
+// examples/lagrangian) whose slice model the engine shares.
 package pathline
 
 import (

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+)
+
+// CanonicalDigest returns a SHA-256 hex digest over the canonicalized
+// geometry of a set of streamlines (or pathlines): curves ordered by ID,
+// each contributing its ID, terminal status, point count and the exact
+// IEEE-754 bits of every geometry point. Two runs produce the same
+// digest if and only if they produced bit-identical curves, so the
+// digest is the equality the determinism and golden tests assert —
+// across algorithms, processor counts and sessions — without storing
+// full geometry.
+//
+// The input slice is not modified; ordering is canonicalized on a copy.
+func CanonicalDigest(sls []*Streamline) string {
+	ordered := make([]*Streamline, len(sls))
+	copy(ordered, sls)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, sl := range ordered {
+		writeU64(uint64(int64(sl.ID)))
+		writeU64(uint64(int64(sl.Status)))
+		writeU64(uint64(int64(len(sl.Points))))
+		for _, p := range sl.Points {
+			writeU64(math.Float64bits(p.X))
+			writeU64(math.Float64bits(p.Y))
+			writeU64(math.Float64bits(p.Z))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func digestFixture() []*Streamline {
+	a := New(0, vec.Of(0.1, 0.2, 0.3), 0)
+	a.Append([]vec.V3{vec.Of(0.2, 0.2, 0.3), vec.Of(0.3, 0.2, 0.3)})
+	a.Status = OutOfBounds
+	b := New(1, vec.Of(-0.5, 0, 0), 3)
+	b.Append([]vec.V3{vec.Of(-0.4, 0.01, 0)})
+	b.Status = MaxedOut
+	return []*Streamline{a, b}
+}
+
+func TestCanonicalDigestOrderIndependent(t *testing.T) {
+	sls := digestFixture()
+	fwd := CanonicalDigest(sls)
+	rev := CanonicalDigest([]*Streamline{sls[1], sls[0]})
+	if fwd != rev {
+		t.Error("digest depends on input order")
+	}
+	if sls[0].ID != 0 {
+		t.Error("digest reordered the caller's slice")
+	}
+	if len(fwd) != 64 {
+		t.Errorf("digest length %d, want 64 hex chars", len(fwd))
+	}
+}
+
+func TestCanonicalDigestSensitivity(t *testing.T) {
+	base := CanonicalDigest(digestFixture())
+
+	moved := digestFixture()
+	moved[1].Points[1].X += 1e-15 // one ulp-scale change in one point
+	if CanonicalDigest(moved) == base {
+		t.Error("digest missed a single-bit geometry change")
+	}
+
+	relabeled := digestFixture()
+	relabeled[0].ID = 7
+	if CanonicalDigest(relabeled) == base {
+		t.Error("digest missed an ID change")
+	}
+
+	status := digestFixture()
+	status[0].Status = AtCritical
+	if CanonicalDigest(status) == base {
+		t.Error("digest missed a status change")
+	}
+
+	truncated := digestFixture()
+	truncated[0].Points = truncated[0].Points[:2]
+	if CanonicalDigest(truncated) == base {
+		t.Error("digest missed a dropped point")
+	}
+}
+
+func TestCanonicalDigestEmpty(t *testing.T) {
+	if CanonicalDigest(nil) != CanonicalDigest([]*Streamline{}) {
+		t.Error("nil and empty inputs digest differently")
+	}
+}
