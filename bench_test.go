@@ -21,6 +21,7 @@ import (
 	"repro/internal/integrate"
 	"repro/internal/metrics"
 	"repro/internal/pathline"
+	"repro/internal/prefetch"
 	"repro/internal/seeds"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -451,6 +452,56 @@ func BenchmarkPathlineIOAmplification(b *testing.B) {
 		amplification = float64(tr.Loads) / float64(steady)
 	}
 	b.ReportMetric(amplification, "io-amplification")
+}
+
+// BenchmarkPrefetchCampaign compares the asynchronous-prefetch policies
+// (DESIGN.md §8) on the Load-On-Demand astro cell, steady (off vs
+// neighbor) and unsteady (off vs temporal), reporting the simulated
+// stall, hidden-read time and prediction accuracy of each.
+func BenchmarkPrefetchCampaign(b *testing.B) {
+	sc := experiments.SmallScale()
+	procs := sc.ProcCounts[len(sc.ProcCounts)/2]
+	steady, err := experiments.BuildProblem(experiments.Astro, experiments.Sparse, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unsteady, err := experiments.BuildUnsteadyProblem(experiments.Astro, experiments.Sparse, sc, sc.TimeSlices)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		prob     core.Problem
+		unsteady bool
+		policy   prefetch.Policy
+	}{
+		{"steady-off", steady, false, prefetch.Off},
+		{"steady-neighbor", steady, false, prefetch.Neighbor},
+		{"unsteady-off", unsteady, true, prefetch.Off},
+		{"unsteady-temporal", unsteady, true, prefetch.Temporal},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := experiments.KeyMachineConfig(experiments.Key{
+				Dataset: experiments.Astro, Seeding: experiments.Sparse,
+				Alg: core.LoadOnDemand, Procs: procs,
+				Unsteady: tc.unsteady, Prefetch: tc.policy,
+			}, sc)
+			var s metrics.Summary
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(tc.prob, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = res.Summary
+			}
+			b.ReportMetric(s.WallClock, "vwall-s")
+			b.ReportMetric(s.TotalIO, "vio-s")
+			b.ReportMetric(s.IOHiddenTime, "vhidden-s")
+			b.ReportMetric(float64(s.PrefetchHits), "hits")
+			b.ReportMetric(float64(s.PrefetchIssued), "issued")
+		})
+	}
 }
 
 // BenchmarkFTLE measures the flow-map analysis built on the integrator.

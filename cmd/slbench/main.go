@@ -18,6 +18,8 @@
 //	slbench -j 1                  # serial execution (same tables, slower)
 //	slbench -unsteady             # the same sweeps as pathline campaigns
 //	slbench -unsteady -tslices 9  # finer time slicing (DESIGN.md §7)
+//	slbench -prefetch neighbor    # every cell with async prefetching (§8)
+//	slbench -unsteady -prefetch both -prefetch-depth 3
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/prefetch"
 )
 
 func main() {
@@ -49,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobs      = fs.Int("j", 0, "sweep cells to run concurrently; 0 means one per CPU core")
 		unsteady  = fs.Bool("unsteady", false, "run the figure sweeps as pathline (time-sliced) campaigns")
 		tslices   = fs.Int("tslices", 0, "stored time slices for unsteady cells (0 = scale default)")
+		pfPolicy  = fs.String("prefetch", "off", "run every cell with predictive block prefetching: off, neighbor, temporal, or both (DESIGN.md §8)")
+		pfDepth   = fs.Int("prefetch-depth", 0, "lookahead per prefetch predictor (0 = scale default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -77,9 +82,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sc.TimeSlices = *tslices
 	}
 
+	pf := prefetch.Policy(*pfPolicy)
+	if err := pf.Validate(); err != nil {
+		fmt.Fprintf(stderr, "slbench: %v\n", err)
+		return 2
+	}
+	if *pfDepth != 0 {
+		// -prefetch-depth shapes prefetching cells, which exist under
+		// -prefetch (figure sweeps) or -shapes (the §8 async-I/O checks);
+		// anywhere else the flag would be silently ignored.
+		if !pf.Enabled() && !*shapes {
+			fmt.Fprintln(stderr, "slbench: -prefetch-depth requires -prefetch or -shapes")
+			return 2
+		}
+		if *pfDepth < 0 {
+			fmt.Fprintf(stderr, "slbench: negative -prefetch-depth %d\n", *pfDepth)
+			return 2
+		}
+		sc.PrefetchDepth = *pfDepth
+	}
+
 	c := experiments.NewCampaign(sc)
 	c.Workers = *jobs
 	c.Unsteady = *unsteady
+	if pf.Enabled() {
+		c.Prefetch = pf
+	}
 	if *verbose {
 		c.Log = func(s string) { fmt.Fprintln(stderr, s) }
 	}

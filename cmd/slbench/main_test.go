@@ -105,3 +105,34 @@ func TestRunBadTimeSlices(t *testing.T) {
 		}
 	}
 }
+
+func TestRunPrefetchFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-figure", "6", "-prefetch", "neighbor"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"astro/sparse/ondemand/8+pf:neighbor", "hidden", "prefetch"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("prefetch figure table missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunBadPrefetchFlags(t *testing.T) {
+	cases := [][]string{
+		{"-prefetch", "sideways"},
+		{"-prefetch", "neighbor", "-prefetch-depth", "-1"},
+		{"-prefetch-depth", "2"}, // no prefetch cells to shape
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

@@ -14,6 +14,11 @@
 // (-tslices stored slices, default per scale) and every algorithm
 // works on space-time blocks (DESIGN.md §7).
 //
+// With -prefetch the asynchronous prefetching subsystem (DESIGN.md §8)
+// predicts upcoming blocks — spatially from streamline exits (neighbor),
+// temporally across epochs (temporal), or both — and overlaps their
+// reads with computation; -prefetch-depth tunes the lookahead.
+//
 // Usage examples:
 //
 //	slrun -dataset astro -seeding sparse -alg hybrid -procs 128
@@ -23,6 +28,8 @@
 //	slrun -alg stealing -steal-batch 16 -steal-victim roundrobin
 //	slrun -unsteady -alg ondemand                       # pathline campaign
 //	slrun -unsteady -tslices 9 -alg hybrid              # finer time slicing
+//	slrun -alg ondemand -prefetch neighbor              # hide I/O behind compute
+//	slrun -unsteady -alg ondemand -prefetch both -prefetch-depth 3
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/prefetch"
 )
 
 func main() {
@@ -75,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stealVictim = fs.String("steal-victim", "", "stealing: victim policy, random or roundrobin (empty = random)")
 		unsteady    = fs.Bool("unsteady", false, "trace pathlines through the dataset's time-varying field (DESIGN.md §7)")
 		tslices     = fs.Int("tslices", 0, "with -unsteady: stored time slices (0 = scale default)")
+		prefetchPol = fs.String("prefetch", "off", "predictive block prefetching: off, neighbor, temporal, or both (DESIGN.md §8)")
+		prefetchD   = fs.Int("prefetch-depth", 0, "with -prefetch: lookahead per predictor (0 = scale default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -142,11 +152,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	pf := prefetch.Policy(*prefetchPol)
+	if err := pf.Validate(); err != nil {
+		fmt.Fprintf(stderr, "slrun: %v\n", err)
+		return 2
+	}
+	if *prefetchD != 0 {
+		if !pf.Enabled() {
+			fmt.Fprintln(stderr, "slrun: -prefetch-depth requires -prefetch")
+			return 2
+		}
+		if *prefetchD < 0 {
+			fmt.Fprintf(stderr, "slrun: negative -prefetch-depth %d\n", *prefetchD)
+			return 2
+		}
+		sc.PrefetchDepth = *prefetchD
+	}
 
 	if len(procCounts) > 1 {
-		return runSweep(sc, *dataset, *seeding, *alg, procCounts, *jobs, *unsteady, steal, stdout, stderr)
+		return runSweep(sc, *dataset, *seeding, *alg, procCounts, *jobs, *unsteady, pf, steal, stdout, stderr)
 	}
-	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, *unsteady, steal, stdout, stderr)
+	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, *unsteady, pf, steal, stdout, stderr)
 }
 
 // applySteal folds the -steal-* flag overrides into a machine config,
@@ -165,7 +191,7 @@ func applySteal(cfg *core.Config, steal core.StealParams) {
 
 // runSweep executes one (dataset, seeding, algorithm) cell at several
 // processor counts on the campaign worker pool and prints a summary table.
-func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []int, jobs int, unsteady bool, steal core.StealParams, stdout, stderr io.Writer) int {
+func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []int, jobs int, unsteady bool, pf prefetch.Policy, steal core.StealParams, stdout, stderr io.Writer) int {
 	// The campaign keeps the scale's own ProcCounts so MemoryBudget (which
 	// derives from the sweep minimum) matches what a single -procs run of
 	// the same scale would use; the sweep cells come from the explicit key
@@ -176,13 +202,17 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 
 	keys := make([]experiments.Key, 0, len(procCounts))
 	for _, p := range procCounts {
-		keys = append(keys, experiments.Key{
+		k := experiments.Key{
 			Dataset:  experiments.Dataset(dataset),
 			Seeding:  experiments.Seeding(seeding),
 			Alg:      core.Algorithm(alg),
 			Procs:    p,
 			Unsteady: unsteady,
-		})
+		}
+		if pf.Enabled() {
+			k.Prefetch = pf
+		}
+		keys = append(keys, k)
 	}
 	c.RunKeys(keys)
 
@@ -195,9 +225,12 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 		}
 		rows = append(rows, metrics.TableRow{Label: k.Label(), Summary: out.Summary, Err: out.Err})
 	}
-	cols := []string{"wall", "io", "comm", "efficiency"}
+	cols := []string{"wall", "io", "ioq", "comm", "efficiency"}
 	if unsteady {
 		cols = append(cols, "epochs", "psteps")
+	}
+	if pf.Enabled() {
+		cols = append(cols, "hidden", "prefetch", "pfwaste")
 	}
 	fmt.Fprint(stdout, metrics.Table(rows, cols))
 	if failed > 0 {
@@ -209,7 +242,7 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 }
 
 // runSingle executes one configuration and prints the detailed report.
-func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, unsteady bool, steal core.StealParams, stdout, stderr io.Writer) int {
+func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, unsteady bool, pf prefetch.Policy, steal core.StealParams, stdout, stderr io.Writer) int {
 	var prob core.Problem
 	var err error
 	if unsteady {
@@ -221,10 +254,10 @@ func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, pe
 		fmt.Fprintln(stderr, "slrun:", err)
 		return 2
 	}
-	cfg := experiments.MachineConfig(core.Algorithm(alg), procs, sc)
-	if unsteady {
-		cfg = experiments.UnsteadyMachineConfig(core.Algorithm(alg), procs, sc, sc.TimeSlices)
-	}
+	cfg := experiments.KeyMachineConfig(experiments.Key{
+		Dataset: experiments.Dataset(dataset), Seeding: experiments.Seeding(seeding),
+		Alg: core.Algorithm(alg), Procs: procs, Unsteady: unsteady, Prefetch: pf,
+	}, sc)
 	applySteal(&cfg, steal)
 	d := prob.Provider.Decomp()
 	workload := "streamlines"
@@ -246,6 +279,7 @@ func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, pe
 	s := res.Summary
 	fmt.Fprintf(stdout, "wall clock          %10.3f s\n", s.WallClock)
 	fmt.Fprintf(stdout, "total I/O time      %10.3f s\n", s.TotalIO)
+	fmt.Fprintf(stdout, "I/O queue wait      %10.3f s\n", s.TotalIOQueue)
 	fmt.Fprintf(stdout, "total comm time     %10.3f s\n", s.TotalComm)
 	fmt.Fprintf(stdout, "total compute time  %10.3f s\n", s.TotalCompute)
 	fmt.Fprintf(stdout, "block efficiency    %10.3f   (loads %d, purges %d)\n",
@@ -261,6 +295,11 @@ func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, pe
 	}
 	if unsteady {
 		fmt.Fprintf(stdout, "epoch crossings     %10d\n", s.EpochCrossings)
+	}
+	if pf.Enabled() {
+		fmt.Fprintf(stdout, "prefetch (hit/issued) %5d/%d   (%d wasted)\n",
+			s.PrefetchHits, s.PrefetchIssued, s.PrefetchWasted)
+		fmt.Fprintf(stdout, "I/O hidden          %10.3f s\n", s.IOHiddenTime)
 	}
 
 	if perProc {

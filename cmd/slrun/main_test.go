@@ -60,6 +60,10 @@ func TestRunBadFlags(t *testing.T) {
 		// Steal flags are meaningless for the other algorithms; reject
 		// rather than silently ignore.
 		{"-alg", "hybrid", "-steal-batch", "16"},
+		{"-prefetch", "sideways"},
+		{"-prefetch", "neighbor", "-prefetch-depth", "-2"},
+		// Depth without a policy would be silently ignored; reject.
+		{"-prefetch-depth", "3"},
 	}
 	for _, args := range cases {
 		var out, errw bytes.Buffer
@@ -109,6 +113,42 @@ func TestRunStealingWithFlags(t *testing.T) {
 	for _, want := range []string{"steals (hit/tried)", "tokens passed"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunPrefetchSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "astro", "-seeding", "sparse",
+		"-alg", "ondemand", "-procs", "8", "-prefetch", "neighbor", "-prefetch-depth", "2"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"prefetch (hit/issued)", "I/O hidden", "I/O queue wait"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunPrefetchSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "astro", "-seeding", "sparse",
+		"-alg", "ondemand", "-procs", "8,16", "-prefetch", "temporal", "-unsteady"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"u:astro/sparse/ondemand/8+pf:temporal", "hidden", "prefetch"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, got)
 		}
 	}
 }

@@ -9,11 +9,15 @@
 // block alongside the paper's three algorithms. Unsteady (time-varying)
 // flow is a first-class workload: the same campaigns trace pathlines
 // through time-sliced space-time blocks with the -unsteady flag, per
-// the paper's Section 4 block-with-a-time-step model.
+// the paper's Section 4 block-with-a-time-step model. Asynchronous
+// predictive prefetching (-prefetch, internal/prefetch) overlaps block
+// reads with computation in all four algorithms, hiding the blocking
+// I/O the paper's Figure 6 measures while keeping geometry bit-identical.
 //
 // See README.md for a tour and DESIGN.md for the system inventory,
 // substitutions, design-choice notes, the work-stealing scheme
-// (DESIGN.md §6) and the unsteady substrate (§7). The entry points are:
+// (DESIGN.md §6), the unsteady substrate (§7) and the async-prefetch
+// subsystem (§8). The entry points are:
 //
 //   - internal/core: the four algorithms (core.Run)
 //   - internal/experiments: datasets, machine model, figure harness

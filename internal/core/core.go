@@ -34,6 +34,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/integrate"
 	"repro/internal/metrics"
+	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -234,6 +235,11 @@ type Config struct {
 	Hybrid HybridParams
 	// Steal holds the work-stealing tuning parameters.
 	Steal StealParams
+	// Prefetch configures predictive asynchronous block loading
+	// (internal/prefetch): reads issued ahead of demand that overlap
+	// computation. The zero value disables it. Prefetching changes
+	// timings, never geometry (pinned by the golden digests).
+	Prefetch prefetch.Config
 	// CollectTraces gathers the finished streamlines into the Result
 	// (costs host memory; used by tests, examples and rendering).
 	CollectTraces bool
@@ -256,6 +262,9 @@ func (c *Config) Validate() error {
 		if err := c.Steal.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := c.Prefetch.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -297,6 +306,7 @@ func Run(p Problem, cfg Config) (*Result, error) {
 		cfg:     &cfg,
 		kernel:  sim.New(),
 		collect: metrics.NewCollector(cfg.Procs),
+		pf:      prefetch.New(p.Provider.Decomp(), cfg.Prefetch),
 	}
 	r.fabric = comm.NewFabric(cfg.Net)
 	if cfg.DiskServers > 0 {
@@ -348,6 +358,9 @@ type runState struct {
 	kernel  *sim.Kernel
 	fabric  *comm.Fabric
 	collect *metrics.Collector
+	// pf predicts prefetch targets; nil when cfg.Prefetch is off, so
+	// every hook gates on a nil check alone.
+	pf *prefetch.Predictor
 
 	err      error // first fatal in-simulation error (e.g. OOM)
 	finished []*trace.Streamline
@@ -418,12 +431,75 @@ type worker struct {
 // newWorker attaches a worker to proc with the given cache capacity.
 func (r *runState) newWorker(proc *sim.Proc, statIdx, cacheBlocks int) *worker {
 	stats := r.collect.P(statIdx)
+	cache := store.NewCache(proc, r.prob.Provider, r.cfg.Disk, cacheBlocks, stats)
+	if r.pf != nil {
+		// Bound speculation: at most 2×depth reads in flight per
+		// processor, so prefetching cannot monopolize the shared I/O
+		// servers or flood a small cache faster than it consumes.
+		cache.SetPrefetchLimit(2 * r.pf.Depth())
+	}
 	return &worker{
 		run:   r,
 		proc:  proc,
 		end:   r.fabric.Attach(proc, stats),
-		cache: store.NewCache(proc, r.prob.Provider, r.cfg.Disk, cacheBlocks, stats),
+		cache: cache,
 		stats: stats,
+	}
+}
+
+// tryPrefetch issues one speculative read, refusing when the memory
+// budget lacks headroom: beyond this read's own buffer it keeps one
+// further block of reserve, so speculation backs off well before the
+// slack a demand load or geometry growth is about to need. (The guard
+// is a strong backstop, not an absolute proof — a run already within
+// one block of its budget can still be tipped by timing shifts, but
+// such a run is on the OOM boundary with prefetching off too.)
+// Already-resident and in-flight targets are no-ops inside the cache.
+func (w *worker) tryPrefetch(id grid.BlockID) bool {
+	if budget := w.run.cfg.MemoryBudget; budget > 0 {
+		bb := w.run.prob.Provider.Decomp().BlockBytes()
+		if w.cache.ResidentBytes()+w.geomBytes+2*bb > budget {
+			return false
+		}
+	}
+	return w.cache.Prefetch(id)
+}
+
+// prefetchAll issues asynchronous reads for predicted blocks.
+func (w *worker) prefetchAll(ids []grid.BlockID) {
+	for _, id := range ids {
+		w.tryPrefetch(id)
+	}
+}
+
+// prefetchOnExit issues the reads for a streamline that just advanced
+// out of block prev into a non-resident block. No-op when prefetching is
+// off.
+func (w *worker) prefetchOnExit(prev grid.BlockID, sl *trace.Streamline) {
+	if w.run.pf != nil {
+		w.prefetchAll(w.run.pf.OnExit(prev, sl))
+	}
+}
+
+// prefetchPreload streams a static worker's still-unloaded pinned blocks
+// in behind a cold demanded load, in preload (ascending owned-ID) order,
+// so later first-touch misses pay only residual time. No-op when
+// prefetching is off or the policy has no meaning for this workload
+// (prefetch.Predictor.PreloadEnabled).
+func (w *worker) prefetchPreload(preload []grid.BlockID) {
+	if w.run.pf == nil || !w.run.pf.PreloadEnabled() {
+		return
+	}
+	issued := 0
+	for _, b := range preload {
+		if issued >= w.run.pf.Depth() {
+			break
+		}
+		// Resident and in-flight blocks (including the just-demanded
+		// one) are refused inside tryPrefetch.
+		if w.tryPrefetch(b) {
+			issued++
+		}
 	}
 }
 

@@ -248,6 +248,7 @@ func (s *slave) workableCount() int {
 func (s *slave) advanceInLoaded(sl *trace.Streamline, ev grid.Evaluator) {
 	d := s.r.prob.Provider.Decomp()
 	for {
+		prev := sl.Block
 		if sl.Steps >= s.r.prob.maxSteps() {
 			sl.Status = trace.MaxedOut
 		} else {
@@ -261,7 +262,10 @@ func (s *slave) advanceInLoaded(sl *trace.Streamline, ev grid.Evaluator) {
 		}
 		next, ok := s.w.cache.TryGet(sl.Block)
 		if !ok {
-			// Left the resident set: park it for the master's decisions.
+			// Left the resident set: issue its read now, then park it for
+			// the master's decisions — if the master assigns it back here
+			// (or Load-rules the block), the I/O has partly happened.
+			s.w.prefetchOnExit(prev, sl)
 			s.byBlock[sl.Block] = append(s.byBlock[sl.Block], sl)
 			return
 		}

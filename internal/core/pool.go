@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/grid"
 	"repro/internal/trace"
@@ -59,6 +60,7 @@ func (pl *pool) advanceOne() (terminated bool) {
 		pl.pending[sl.Block] = append(pl.pending[sl.Block], sl)
 		return false
 	}
+	prev := sl.Block
 	if sl.Steps >= pl.r.prob.maxSteps() {
 		sl.Status = trace.MaxedOut
 	} else {
@@ -66,6 +68,12 @@ func (pl *pool) advanceOne() (terminated bool) {
 	}
 	if !pl.w.checkMemory("streamline geometry") {
 		return false
+	}
+	if !sl.Status.Terminated() && !pl.w.cache.Has(sl.Block) {
+		// Exited into a block we don't hold: issue its read immediately —
+		// by the time the pool drains back to it, part or all of the I/O
+		// has already happened.
+		pl.w.prefetchOnExit(prev, sl)
 	}
 	if sl.Status.Terminated() {
 		pl.r.complete(pl.w, sl)
@@ -95,9 +103,42 @@ func (pl *pool) loadBest() {
 		return
 	}
 	pl.w.cache.Get(best)
+	// Lookahead: the next most-wanted pending blocks will be demanded as
+	// soon as best's streamlines drain, so start their reads now — after
+	// the demand read, never before it (speculation must not claim the
+	// server a demand read is about to need), overlapping the compute
+	// this load just unblocked.
+	if pl.r.pf != nil {
+		for _, b := range pl.runnersUp(best, pl.r.pf.Depth()) {
+			pl.w.tryPrefetch(b)
+		}
+	}
 	if !pl.w.checkMemory("block cache") {
 		return
 	}
 	pl.workable = append(pl.workable, pl.pending[best]...)
 	delete(pl.pending, best)
+}
+
+// runnersUp returns up to n pending blocks other than best, most-wanted
+// first (deterministic tie-break on block ID) — the blocks loadBest
+// would pick next.
+func (pl *pool) runnersUp(best grid.BlockID, n int) []grid.BlockID {
+	out := make([]grid.BlockID, 0, len(pl.pending))
+	for b := range pl.pending {
+		if b != best {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := len(pl.pending[out[i]]), len(pl.pending[out[j]])
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
 }

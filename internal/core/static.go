@@ -60,9 +60,14 @@ func (r *runState) buildStatic() {
 		i := i
 		lo := i * d.NumBlocks() / n
 		hi := (i + 1) * d.NumBlocks() / n
+		// The pinned working set doubles as the prefetch preload order:
+		// owned blocks are loaded exactly once each, so streaming the
+		// next unloaded ones behind every cold demand hides the pinned
+		// load sequence.
+		owned := make([]grid.BlockID, 0, hi-lo)
 		var w *worker
 		proc := r.kernel.Spawn(fmt.Sprintf("static-%d", i), func(p *sim.Proc) {
-			r.staticWorker(w, owner, initial[i])
+			r.staticWorker(w, owner, initial[i], owned)
 		})
 		// Owned blocks stay resident for the whole run — that is what
 		// makes Static Allocation's I/O ideal — so capacity equals the
@@ -70,13 +75,15 @@ func (r *runState) buildStatic() {
 		w = r.newWorker(proc, i, max(hi-lo, 1))
 		for b := lo; b < hi; b++ {
 			w.cache.Pin(grid.BlockID(b))
+			owned = append(owned, grid.BlockID(b))
 		}
 	}
 }
 
 // staticWorker is the per-processor body of the Static Allocation
-// algorithm.
-func (r *runState) staticWorker(w *worker, owner func(grid.BlockID) int, initial []*trace.Streamline) {
+// algorithm; preload is the owned block set in pin (ascending ID) order,
+// used by the prefetch hook.
+func (r *runState) staticWorker(w *worker, owner func(grid.BlockID) int, initial []*trace.Streamline, preload []grid.BlockID) {
 	defer func() { w.stats.EndTime = w.proc.Now() }()
 
 	queue := initial
@@ -157,7 +164,15 @@ func (r *runState) staticWorker(w *worker, owner func(grid.BlockID) int, initial
 		if sl.Steps >= r.prob.maxSteps() {
 			sl.Status = trace.MaxedOut
 		} else {
+			cold := !w.cache.Has(sl.Block)
 			ev := w.cache.Get(sl.Block) // owned blocks load once, stay pinned
+			if cold {
+				// A first touch of an owned block: stream the next
+				// unloaded owned blocks in behind it — issued after the
+				// demand read (speculation must not claim the server it
+				// is about to need), overlapping the advance below.
+				w.prefetchPreload(preload)
+			}
 			w.advance(sl, ev, r.prob.Provider.Decomp().Bounds(sl.Block))
 		}
 		if !w.checkMemory("streamline geometry") {

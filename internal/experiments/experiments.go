@@ -19,6 +19,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/integrate"
 	"repro/internal/metrics"
+	"repro/internal/prefetch"
 	"repro/internal/seeds"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -87,6 +88,10 @@ type Scale struct {
 	// (pathline) cells — the -tslices flag overrides it. Steady cells
 	// ignore it.
 	TimeSlices int
+	// PrefetchDepth is the lookahead of the prefetch subsystem for cells
+	// whose Key carries a prefetch policy — the -prefetch-depth flag
+	// overrides it. Cells with prefetching off ignore it.
+	PrefetchDepth int
 }
 
 // ScaleByName resolves a scale name as used by the sl* commands' -scale
@@ -122,9 +127,10 @@ func PaperScale() Scale {
 		// ~50 integration steps per block crossing (1M-cell blocks are
 		// finely resolved), so each loaded block amortizes real compute —
 		// the balance the paper's machines ran at.
-		HMax:        0.005,
-		DiskServers: 8,
-		TimeSlices:  9,
+		HMax:          0.005,
+		DiskServers:   8,
+		TimeSlices:    9,
+		PrefetchDepth: 2,
 	}
 }
 
@@ -182,6 +188,7 @@ func SmallScale() Scale {
 		DiskServers:       4,
 		DiskLatencySec:    0.001, // 128 KB test blocks read fast
 		TimeSlices:        4,
+		PrefetchDepth:     2,
 	}
 }
 
@@ -377,6 +384,20 @@ func UnsteadyMachineConfig(alg core.Algorithm, procs int, sc Scale, tslices int)
 	return cfg
 }
 
+// KeyMachineConfig builds the cluster configuration a campaign cell
+// runs: MachineConfig (or its unsteady variant), with the key's prefetch
+// policy applied at the scale's lookahead depth.
+func KeyMachineConfig(k Key, sc Scale) core.Config {
+	cfg := MachineConfig(k.Alg, k.Procs, sc)
+	if k.Unsteady {
+		cfg = UnsteadyMachineConfig(k.Alg, k.Procs, sc, sc.TimeSlices)
+	}
+	if k.Prefetch.Enabled() {
+		cfg.Prefetch = prefetch.Config{Policy: k.Prefetch, Depth: sc.PrefetchDepth}
+	}
+	return cfg
+}
+
 // Key identifies one run of the campaign.
 type Key struct {
 	Dataset Dataset
@@ -387,16 +408,34 @@ type Key struct {
 	// the dataset's time-varying field over Scale.TimeSlices stored
 	// slices, traced by the same four algorithms.
 	Unsteady bool
+	// Prefetch selects the predictive-prefetching policy of the cell
+	// (internal/prefetch) at Scale.PrefetchDepth lookahead. The zero
+	// value (and prefetch.Off) runs without prefetching.
+	Prefetch prefetch.Policy
+}
+
+// normalized maps the equivalent no-prefetch spellings ("" and
+// prefetch.Off) to one canonical key, so a cell cannot run or cache
+// twice under two names.
+func (k Key) normalized() Key {
+	if !k.Prefetch.Enabled() {
+		k.Prefetch = ""
+	}
+	return k
 }
 
 // Label renders the key the way tables list runs; unsteady (pathline)
-// cells carry a "u:" prefix.
+// cells carry a "u:" prefix, prefetching cells a "+pf:<policy>" suffix.
 func (k Key) Label() string {
 	prefix := ""
 	if k.Unsteady {
 		prefix = "u:"
 	}
-	return fmt.Sprintf("%s%s/%s/%s/%d", prefix, k.Dataset, k.Seeding, k.Alg, k.Procs)
+	suffix := ""
+	if k.Prefetch.Enabled() {
+		suffix = "+pf:" + string(k.Prefetch)
+	}
+	return fmt.Sprintf("%s%s/%s/%s/%d%s", prefix, k.Dataset, k.Seeding, k.Alg, k.Procs, suffix)
 }
 
 // Outcome is one run's result (Err records expected failures such as the
@@ -431,6 +470,10 @@ type Campaign struct {
 	// FigureKeys) emit the time-sliced pathline variant of every cell —
 	// the slbench -unsteady mode. Explicitly-built Keys are unaffected.
 	Unsteady bool
+	// Prefetch, when an enabled policy, makes the key enumerators emit
+	// every cell with that prefetch policy — the slbench -prefetch mode.
+	// Explicitly-built Keys are unaffected.
+	Prefetch prefetch.Policy
 
 	mu       sync.Mutex
 	results  map[Key]Outcome
@@ -494,6 +537,7 @@ func (c *Campaign) problem(ds Dataset, seeding Seeding, unsteady bool) (core.Pro
 
 // Cached returns the outcome for k only if it has already been computed.
 func (c *Campaign) Cached(k Key) (Outcome, bool) {
+	k = k.normalized()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out, ok := c.results[k]
@@ -511,6 +555,7 @@ func (c *Campaign) NumResults() int {
 // another goroutine is already executing k, Run waits for that result
 // instead of duplicating the work.
 func (c *Campaign) Run(k Key) Outcome {
+	k = k.normalized()
 	for {
 		c.mu.Lock()
 		if out, ok := c.results[k]; ok {
@@ -547,10 +592,7 @@ func (c *Campaign) execute(k Key) Outcome {
 		out.Err = err
 		return out
 	}
-	cfg := MachineConfig(k.Alg, k.Procs, c.Scale)
-	if k.Unsteady {
-		cfg = UnsteadyMachineConfig(k.Alg, k.Procs, c.Scale, c.Scale.TimeSlices)
-	}
+	cfg := KeyMachineConfig(k, c.Scale)
 	if c.Tune != nil {
 		c.Tune(&cfg)
 	}
@@ -580,10 +622,14 @@ func (c *Campaign) logOutcome(out Outcome) {
 // algorithms, all processor counts) in presentation order.
 func (c *Campaign) DatasetKeys(ds Dataset) []Key {
 	var keys []Key
+	pf := prefetch.Policy("")
+	if c.Prefetch.Enabled() {
+		pf = c.Prefetch
+	}
 	for _, seeding := range Seedings() {
 		for _, alg := range core.Algorithms() {
 			for _, procs := range c.Scale.ProcCounts {
-				keys = append(keys, Key{Dataset: ds, Seeding: seeding, Alg: alg, Procs: procs, Unsteady: c.Unsteady})
+				keys = append(keys, Key{Dataset: ds, Seeding: seeding, Alg: alg, Procs: procs, Unsteady: c.Unsteady, Prefetch: pf})
 			}
 		}
 	}
@@ -674,11 +720,15 @@ func (c *Campaign) FigureRows(fig Figure) []metrics.TableRow {
 
 // FigureColumns returns the metric columns a figure's table renders: the
 // figure's own metric, plus the epoch-crossing count when the campaign
-// runs unsteady (pathline) cells.
+// runs unsteady (pathline) cells, plus the hidden-I/O and hit/issue
+// columns when it runs prefetching cells.
 func (c *Campaign) FigureColumns(fig Figure) []string {
 	cols := []string{fig.Metric}
 	if c.Unsteady {
 		cols = append(cols, "epochs")
+	}
+	if c.Prefetch.Enabled() {
+		cols = append(cols, "hidden", "prefetch", "pfwaste")
 	}
 	return cols
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/prefetch"
 	"repro/internal/store"
 )
 
@@ -365,8 +366,15 @@ func TestCampaignUnsteadyFlagFlipsKeys(t *testing.T) {
 
 func TestShapeKeysIncludeUnsteadyCells(t *testing.T) {
 	c := NewCampaign(SmallScale())
-	un := 0
+	un, pf := 0, 0
 	for _, k := range ShapeKeys(c) {
+		if k.Prefetch.Enabled() {
+			pf++
+			if k.Dataset != Astro || k.Seeding != Sparse || k.Alg != core.LoadOnDemand {
+				t.Errorf("unexpected prefetch shape cell %v", k.Label())
+			}
+			continue
+		}
 		if k.Unsteady {
 			un++
 			if k.Dataset != Astro || k.Seeding != Sparse {
@@ -376,6 +384,81 @@ func TestShapeKeysIncludeUnsteadyCells(t *testing.T) {
 	}
 	if un != len(core.Algorithms()) {
 		t.Errorf("unsteady shape cells = %d, want one per algorithm", un)
+	}
+	if pf != 2 {
+		t.Errorf("prefetch shape cells = %d, want 2 (neighbor steady + temporal unsteady)", pf)
+	}
+}
+
+func TestPrefetchKeyLabel(t *testing.T) {
+	k := Key{Dataset: Astro, Seeding: Sparse, Alg: core.LoadOnDemand, Procs: 8}
+	k.Prefetch = prefetch.Neighbor
+	if k.Label() != "astro/sparse/ondemand/8+pf:neighbor" {
+		t.Errorf("prefetch label = %q", k.Label())
+	}
+	k.Unsteady = true
+	k.Prefetch = prefetch.Temporal
+	if k.Label() != "u:astro/sparse/ondemand/8+pf:temporal" {
+		t.Errorf("unsteady prefetch label = %q", k.Label())
+	}
+	k.Unsteady = false
+	k.Prefetch = prefetch.Off
+	if k.Label() != "astro/sparse/ondemand/8" {
+		t.Errorf("off label = %q", k.Label())
+	}
+}
+
+func TestKeyMachineConfig(t *testing.T) {
+	sc := SmallScale()
+	k := Key{Dataset: Astro, Seeding: Sparse, Alg: core.LoadOnDemand, Procs: 8}
+	if cfg := KeyMachineConfig(k, sc); cfg.Prefetch.Policy.Enabled() {
+		t.Errorf("prefetch-off key produced prefetch config %+v", cfg.Prefetch)
+	}
+	k.Prefetch = prefetch.Neighbor
+	cfg := KeyMachineConfig(k, sc)
+	if cfg.Prefetch.Policy != prefetch.Neighbor || cfg.Prefetch.Depth != sc.PrefetchDepth {
+		t.Errorf("prefetch config = %+v, want neighbor at depth %d", cfg.Prefetch, sc.PrefetchDepth)
+	}
+	k.Unsteady = true
+	if got := KeyMachineConfig(k, sc).MemoryBudget; got != UnsteadyMemoryBudget(sc, sc.TimeSlices) {
+		t.Errorf("unsteady prefetch key budget = %d", got)
+	}
+}
+
+func TestCampaignPrefetchCells(t *testing.T) {
+	sc := SmallScale()
+	sc.AstroSeeds = 60
+	sc.MaxSteps = 200
+	c := NewCampaign(sc)
+	top := sc.ProcCounts[len(sc.ProcCounts)-1]
+	off := c.Run(Key{Dataset: Astro, Seeding: Sparse, Alg: core.LoadOnDemand, Procs: top})
+	pf := c.Run(Key{Dataset: Astro, Seeding: Sparse, Alg: core.LoadOnDemand, Procs: top, Prefetch: prefetch.Neighbor})
+	if off.Err != nil || pf.Err != nil {
+		t.Fatalf("errs: off=%v prefetch=%v", off.Err, pf.Err)
+	}
+	if off.Summary.PrefetchIssued != 0 {
+		t.Errorf("prefetch-off cell issued %d prefetches", off.Summary.PrefetchIssued)
+	}
+	if pf.Summary.PrefetchIssued == 0 {
+		t.Error("prefetch cell issued nothing; the axis is not wired through")
+	}
+	if c.NumResults() != 2 {
+		t.Errorf("cells cached = %d, want 2 (prefetch must not collide with off)", c.NumResults())
+	}
+}
+
+func TestCampaignPrefetchFlagFlipsKeys(t *testing.T) {
+	c := NewCampaign(SmallScale())
+	for _, k := range c.DatasetKeys(Astro) {
+		if k.Prefetch.Enabled() {
+			t.Fatal("plain campaign emitted prefetch keys")
+		}
+	}
+	c.Prefetch = prefetch.Both
+	for _, k := range c.AllKeys() {
+		if k.Prefetch != prefetch.Both {
+			t.Fatal("prefetch campaign emitted non-prefetch keys")
+		}
 	}
 }
 

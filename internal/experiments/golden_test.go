@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/prefetch"
 	"repro/internal/trace"
 )
 
@@ -22,9 +23,10 @@ import (
 // digests — that is the regression this test exists to catch.
 var updateGoldens = flag.Bool("update", false, "rewrite the golden geometry digests")
 
-// goldenScale is a trimmed configuration so the 24 runs (3 datasets ×
-// {steady, unsteady} × 4 algorithms) stay test-suite fast while still
-// crossing blocks, epochs and processor boundaries.
+// goldenScale is a trimmed configuration so the 48 runs (3 datasets ×
+// {steady, unsteady} × 4 algorithms × prefetch {off, both}) stay
+// test-suite fast while still crossing blocks, epochs and processor
+// boundaries.
 func goldenScale() Scale {
 	sc := SmallScale()
 	sc.AstroSeeds = 50
@@ -36,8 +38,9 @@ func goldenScale() Scale {
 
 // TestGoldenDigests pins the streamline/pathline geometry of every
 // (dataset × workload) cell to a checked-in SHA-256 digest, and asserts
-// all four algorithms produce that exact digest. Scheduler edits,
-// steal-policy tweaks or master-rule changes can therefore never
+// all four algorithms — each with prefetching fully off and fully on —
+// produce that exact digest. Scheduler edits, steal-policy tweaks,
+// master-rule changes or prefetch reordering can therefore never
 // silently change results: any numerics drift fails here first.
 //
 // The digests are computed over exact IEEE-754 bits (trace.
@@ -48,7 +51,7 @@ func goldenScale() Scale {
 // commit.
 func TestGoldenDigests(t *testing.T) {
 	if testing.Short() {
-		t.Skip("24 simulations too slow for -short")
+		t.Skip("48 simulations too slow for -short")
 	}
 	sc := goldenScale()
 	procs := 8
@@ -74,23 +77,27 @@ func TestGoldenDigests(t *testing.T) {
 			}
 
 			ref := ""
-			refAlg := core.Algorithm("")
+			refAlg := ""
 			for _, alg := range core.Algorithms() {
-				cfg := MachineConfig(alg, procs, sc)
-				if unsteady {
-					cfg = UnsteadyMachineConfig(alg, procs, sc, sc.TimeSlices)
-				}
-				cfg.CollectTraces = true
-				res, err := core.Run(prob, cfg)
-				if err != nil {
-					t.Fatalf("%s/%s: %v", key, alg, err)
-				}
-				digest := trace.CanonicalDigest(res.Streamlines)
-				if ref == "" {
-					ref, refAlg = digest, alg
-				} else if digest != ref {
-					t.Errorf("%s: %s digest %s differs from %s digest %s — algorithms no longer bit-identical",
-						key, alg, digest[:16], refAlg, ref[:16])
+				// Prefetching overlaps I/O with compute and reorders
+				// work; it must never move a digest, so every algorithm
+				// is pinned with it fully off and fully on.
+				for _, pf := range []prefetch.Policy{prefetch.Off, prefetch.Both} {
+					cfg := KeyMachineConfig(Key{Dataset: ds, Seeding: Sparse, Alg: alg,
+						Procs: procs, Unsteady: unsteady, Prefetch: pf}, sc)
+					cfg.CollectTraces = true
+					res, err := core.Run(prob, cfg)
+					if err != nil {
+						t.Fatalf("%s/%s/%s: %v", key, alg, pf, err)
+					}
+					digest := trace.CanonicalDigest(res.Streamlines)
+					variant := fmt.Sprintf("%s(prefetch %s)", alg, pf)
+					if ref == "" {
+						ref, refAlg = digest, variant
+					} else if digest != ref {
+						t.Errorf("%s: %s digest %s differs from %s digest %s — runs no longer bit-identical",
+							key, variant, digest[:16], refAlg, ref[:16])
+					}
 				}
 			}
 			got[key] = ref

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/prefetch"
 	"repro/internal/store"
 )
 
@@ -20,8 +21,10 @@ type ShapeResult struct {
 
 // ShapeKeys enumerates the configurations CheckShapes consults — every
 // dataset × seeding × algorithm at the scale's top processor count, plus
-// the unsteady astro cells the pathline checks compare — so callers can
-// prewarm them on the worker pool before the (serial) checks.
+// the unsteady astro cells the pathline checks compare, plus the
+// prefetching astro cells the §8 async-I/O checks compare against their
+// prefetch-off counterparts — so callers can prewarm them on the worker
+// pool before the (serial) checks.
 func ShapeKeys(c *Campaign) []Key {
 	top := c.Scale.ProcCounts[len(c.Scale.ProcCounts)-1]
 	var keys []Key
@@ -35,6 +38,10 @@ func ShapeKeys(c *Campaign) []Key {
 	for _, alg := range core.Algorithms() {
 		keys = append(keys, Key{Dataset: Astro, Seeding: Sparse, Alg: alg, Procs: top, Unsteady: true})
 	}
+	keys = append(keys,
+		Key{Dataset: Astro, Seeding: Sparse, Alg: core.LoadOnDemand, Procs: top, Prefetch: prefetch.Neighbor},
+		Key{Dataset: Astro, Seeding: Sparse, Alg: core.LoadOnDemand, Procs: top, Unsteady: true, Prefetch: prefetch.Temporal},
+	)
 	return keys
 }
 
@@ -289,6 +296,37 @@ func CheckShapes(c *Campaign) []ShapeResult {
 			ratio(lU, hU) > ratio(lS, hS),
 			fmt.Sprintf("unsteady ondemand/hybrid=%.2f steady=%.2f (ondemand %.2f->%.2f, hybrid %.2f->%.2f)",
 				ratio(lU, hU), ratio(lS, hS), lS, lU, hS, hU))
+	}
+
+	// --- Asynchronous prefetching (paper §8, DESIGN.md §8) ---
+	{
+		// The paper's I/O cost is Load-On-Demand's blocking read at every
+		// miss; §8 proposes hiding it. Neighbor prefetching issues the
+		// next spatial block from each streamline's exit while the pool
+		// keeps computing, so the same campaign cell must stall strictly
+		// less on I/O with it on — and report genuinely hidden read time.
+		off := get(Astro, Sparse, core.LoadOnDemand)
+		pf := c.Run(Key{Dataset: Astro, Seeding: Sparse, Alg: core.LoadOnDemand, Procs: top, Prefetch: prefetch.Neighbor})
+		add("§8: neighbor prefetch strictly cuts Load-On-Demand's I/O stall time (astro sparse)",
+			pf.Err == nil && off.Err == nil &&
+				pf.Summary.TotalIO < off.Summary.TotalIO && pf.Summary.IOHiddenTime > 0,
+			fmt.Sprintf("io %.3f -> %.3f, hidden=%.3f (hits %d/%d issued)",
+				off.Summary.TotalIO, pf.Summary.TotalIO, pf.Summary.IOHiddenTime,
+				pf.Summary.PrefetchHits, pf.Summary.PrefetchIssued))
+	}
+	{
+		// Pathlines add the epoch-boundary stall: every crossing is a
+		// cold space-time block. Temporal prefetching streams epoch e+1
+		// in while epoch e still computes, cutting the same cell's total
+		// I/O stall on the unsteady campaign.
+		off := getU(Astro, Sparse, core.LoadOnDemand)
+		pf := c.Run(Key{Dataset: Astro, Seeding: Sparse, Alg: core.LoadOnDemand, Procs: top, Unsteady: true, Prefetch: prefetch.Temporal})
+		add("§8: temporal prefetch cuts unsteady epoch-boundary I/O stalls (astro sparse pathlines)",
+			pf.Err == nil && off.Err == nil &&
+				pf.Summary.TotalIO < off.Summary.TotalIO && pf.Summary.IOHiddenTime > 0,
+			fmt.Sprintf("io %.3f -> %.3f, hidden=%.3f (hits %d/%d issued)",
+				off.Summary.TotalIO, pf.Summary.TotalIO, pf.Summary.IOHiddenTime,
+				pf.Summary.PrefetchHits, pf.Summary.PrefetchIssued))
 	}
 
 	return out

@@ -17,6 +17,7 @@ type ProcStats struct {
 
 	ComputeTime float64 // time charged to streamline integration
 	IOTime      float64 // time blocked reading blocks
+	IOQueueTime float64 // subset of IOTime spent queued for a shared I/O server
 	CommTime    float64 // time posting/handling sends and receives
 	IdleTime    float64 // time blocked waiting for work/messages
 	EndTime     float64 // virtual time when the processor finished
@@ -38,6 +39,16 @@ type ProcStats struct {
 	StealAttempts int64
 	StealHits     int64
 	TokensPassed  int64
+
+	// Prefetch (asynchronous predictive I/O, internal/prefetch) counters,
+	// zero when prefetching is off: reads issued ahead of demand, issued
+	// reads whose block was then actually used, prefetched blocks evicted
+	// before any use, and the I/O seconds that overlapped computation
+	// instead of stalling a processor (the subsystem's whole point).
+	PrefetchIssued int64
+	PrefetchHits   int64
+	PrefetchWasted int64
+	IOHiddenTime   float64
 
 	// Pathline (unsteady-workload) counters, zero for steady runs:
 	// integration steps taken in time-dependent advection, and epoch
@@ -90,6 +101,7 @@ type Summary struct {
 
 	WallClock    float64 // max processor end time: the paper's total run time
 	TotalIO      float64 // summed I/O time (Figures 6, 10, 14)
+	TotalIOQueue float64 // subset of TotalIO spent queued for shared I/O servers
 	TotalComm    float64 // summed communication time (Figures 8, 11, 15)
 	TotalCompute float64
 	TotalIdle    float64
@@ -113,6 +125,13 @@ type Summary struct {
 	StealHits     int64
 	TokensPassed  int64
 
+	// PrefetchIssued/PrefetchHits/PrefetchWasted/IOHiddenTime aggregate
+	// the asynchronous-prefetch counters (zero when prefetching is off).
+	PrefetchIssued int64
+	PrefetchHits   int64
+	PrefetchWasted int64
+	IOHiddenTime   float64
+
 	// PathlineSteps/EpochCrossings aggregate the unsteady-workload
 	// counters (zero for steady runs).
 	PathlineSteps  int64
@@ -133,6 +152,7 @@ func (c *Collector) Aggregate() Summary {
 			s.WallClock = p.EndTime
 		}
 		s.TotalIO += p.IOTime
+		s.TotalIOQueue += p.IOQueueTime
 		s.TotalComm += p.CommTime
 		s.TotalCompute += p.ComputeTime
 		s.TotalIdle += p.IdleTime
@@ -145,6 +165,10 @@ func (c *Collector) Aggregate() Summary {
 		s.StealAttempts += p.StealAttempts
 		s.StealHits += p.StealHits
 		s.TokensPassed += p.TokensPassed
+		s.PrefetchIssued += p.PrefetchIssued
+		s.PrefetchHits += p.PrefetchHits
+		s.PrefetchWasted += p.PrefetchWasted
+		s.IOHiddenTime += p.IOHiddenTime
 		s.PathlineSteps += p.PathlineSteps
 		s.EpochCrossings += p.EpochCrossings
 		if p.PeakMemoryBytes > s.PeakMemoryBytes {
@@ -186,9 +210,11 @@ func (s Summary) String() string {
 
 // Table renders rows of (label, summary) pairs as an aligned text table
 // with one column per requested metric. Valid metric names: wall, io,
-// comm, efficiency, msgs, bytes, loads, purges, steps, imbalance,
-// steals (hits/attempts), tokens, epochs (epoch crossings), psteps
-// (pathline steps).
+// ioq (shared-disk queue wait), hidden (I/O time overlapped with
+// compute), comm, efficiency, msgs, bytes, loads, purges, steps,
+// imbalance, steals (hits/attempts), tokens, prefetch (hits/issued),
+// pfwaste (prefetched blocks evicted unused), epochs (epoch crossings),
+// psteps (pathline steps).
 func Table(rows []TableRow, cols []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-28s", "run")
@@ -223,6 +249,10 @@ func (r TableRow) format(col string) string {
 		return fmt.Sprintf("%.3f", s.WallClock)
 	case "io":
 		return fmt.Sprintf("%.3f", s.TotalIO)
+	case "ioq":
+		return fmt.Sprintf("%.3f", s.TotalIOQueue)
+	case "hidden":
+		return fmt.Sprintf("%.3f", s.IOHiddenTime)
 	case "comm":
 		return fmt.Sprintf("%.3f", s.TotalComm)
 	case "compute":
@@ -245,6 +275,10 @@ func (r TableRow) format(col string) string {
 		return fmt.Sprintf("%d/%d", s.StealHits, s.StealAttempts)
 	case "tokens":
 		return fmt.Sprintf("%d", s.TokensPassed)
+	case "prefetch":
+		return fmt.Sprintf("%d/%d", s.PrefetchHits, s.PrefetchIssued)
+	case "pfwaste":
+		return fmt.Sprintf("%d", s.PrefetchWasted)
 	case "epochs":
 		return fmt.Sprintf("%d", s.EpochCrossings)
 	case "psteps":

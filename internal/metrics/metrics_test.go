@@ -50,6 +50,14 @@ func TestAggregate(t *testing.T) {
 	c.P(1).StealAttempts = 2
 	c.P(1).StealHits = 1
 	c.P(2).TokensPassed = 9
+	c.P(0).IOQueueTime = 0.25
+	c.P(1).IOQueueTime = 0.5
+	c.P(0).PrefetchIssued = 6
+	c.P(1).PrefetchIssued = 4
+	c.P(0).PrefetchHits = 5
+	c.P(1).PrefetchWasted = 2
+	c.P(0).IOHiddenTime = 0.125
+	c.P(2).IOHiddenTime = 0.375
 
 	s := c.Aggregate()
 	if s.WallClock != 15 {
@@ -78,6 +86,15 @@ func TestAggregate(t *testing.T) {
 	}
 	if s.StealAttempts != 6 || s.StealHits != 1 || s.TokensPassed != 9 {
 		t.Errorf("steal counters wrong: %+v", s)
+	}
+	if s.TotalIOQueue != 0.75 {
+		t.Errorf("TotalIOQueue = %g, want 0.75", s.TotalIOQueue)
+	}
+	if s.PrefetchIssued != 10 || s.PrefetchHits != 5 || s.PrefetchWasted != 2 {
+		t.Errorf("prefetch counters wrong: %+v", s)
+	}
+	if s.IOHiddenTime != 0.5 {
+		t.Errorf("IOHiddenTime = %g, want 0.5", s.IOHiddenTime)
 	}
 }
 
@@ -174,7 +191,7 @@ func TestTableRendering(t *testing.T) {
 func TestTableAllColumns(t *testing.T) {
 	c := NewCollector(1)
 	c.P(0).EndTime = 1
-	cols := []string{"wall", "io", "comm", "compute", "efficiency", "msgs", "bytes", "loads", "purges", "steps", "imbalance", "steals", "tokens"}
+	cols := []string{"wall", "io", "ioq", "hidden", "comm", "compute", "efficiency", "msgs", "bytes", "loads", "purges", "steps", "imbalance", "steals", "tokens", "prefetch", "pfwaste", "epochs", "psteps"}
 	out := Table([]TableRow{{Label: "x", Summary: c.Aggregate()}}, cols)
 	if strings.Contains(out, "?") {
 		t.Errorf("a known column rendered as unknown:\n%s", out)

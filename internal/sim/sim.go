@@ -295,7 +295,10 @@ func (k *Kernel) Run() error {
 
 // Resource is a FIFO-queued server with fixed capacity; it models
 // contended hardware such as a shared filesystem's I/O servers. Acquire
-// blocks (in virtual time) until a slot is free.
+// blocks (in virtual time) until a slot is free; TryAcquire claims a
+// slot without queueing, the opportunistic entry point of the
+// asynchronous read path (store.DiskModel.ReadAsync), which by design
+// never queues speculation ahead of demand.
 type Resource struct {
 	k        *Kernel
 	capacity int
@@ -303,6 +306,7 @@ type Resource struct {
 	queue    []resourceWaiter
 }
 
+// resourceWaiter is one queued slot request from a blocked process.
 type resourceWaiter struct {
 	p   *Proc
 	seq uint64
@@ -328,7 +332,21 @@ func (r *Resource) Acquire(p *Proc) {
 	p.yield()
 }
 
-// Release frees one slot and wakes the next waiter, if any.
+// TryAcquire claims a slot only if one is free right now, without
+// queueing; it reports whether the claim succeeded. Speculative work
+// (block prefetching) uses it so that spare capacity is soaked up but a
+// demand request never waits behind a speculation in the queue.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release frees one slot and hands it to the next queued waiter, if
+// any: the slot transfers directly (inUse is unchanged) and the waiting
+// process is woken.
 func (r *Resource) Release() {
 	if len(r.queue) > 0 {
 		next := r.queue[0]
@@ -345,3 +363,46 @@ func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting for a slot.
 func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Event is a one-shot completion signal: processes Wait (blocking in
+// virtual time) until Fire is called from a kernel callback or another
+// process. Waiting after Fire returns immediately. It is the completion
+// half of the asynchronous read path: an in-flight operation with no
+// process of its own Fires the event, and any process that turns out to
+// need the result early Waits only the residual time.
+type Event struct {
+	k       *Kernel
+	fired   bool
+	waiters []resourceWaiter
+}
+
+// NewEvent creates an unfired event on k.
+func NewEvent(k *Kernel) *Event { return &Event{k: k} }
+
+// Fired reports whether Fire has been called.
+func (e *Event) Fired() bool { return e.fired }
+
+// Wait blocks p until the event fires; the wait is recorded as idle time.
+func (e *Event) Wait(p *Proc) {
+	if e.fired {
+		return
+	}
+	p.idleStart = p.k.now
+	seq := p.beginBlock()
+	e.waiters = append(e.waiters, resourceWaiter{p: p, seq: seq})
+	p.yield()
+}
+
+// Fire marks the event complete and wakes every waiter at the current
+// virtual time. Firing twice is a no-op.
+func (e *Event) Fire() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	for _, w := range e.waiters {
+		w.p.idleTotal += e.k.now - w.p.idleStart
+		e.k.wake(w.p, w.seq)
+	}
+	e.waiters = nil
+}

@@ -45,11 +45,16 @@ func (d DiskModel) ReadTime(bytes int64) float64 {
 }
 
 // Read charges proc the I/O cost of reading bytes, honoring shared-disk
-// contention, and records it in stats.
+// contention, and records it in stats. The shared-disk queue wait is
+// additionally broken out as IOQueueTime (still counted inside IOTime),
+// so contention stalls are separable from transfer time.
 func (d DiskModel) Read(p *sim.Proc, bytes int64, stats *metrics.ProcStats) {
 	start := p.Now()
 	if d.Shared != nil {
 		d.Shared.Acquire(p)
+		if stats != nil {
+			stats.IOQueueTime += p.Now() - start
+		}
 		p.Sleep(d.ReadTime(bytes))
 		d.Shared.Release()
 	} else {
@@ -58,6 +63,30 @@ func (d DiskModel) Read(p *sim.Proc, bytes int64, stats *metrics.ProcStats) {
 	if stats != nil {
 		stats.IOTime += p.Now() - start
 	}
+}
+
+// ReadAsync issues a speculative non-blocking read of bytes on kernel k,
+// reporting whether it was issued. The shared I/O servers are honored
+// opportunistically: the read claims a server only if one is idle right
+// now (sim.Resource.TryAcquire) and is refused otherwise, so speculation
+// soaks up spare bandwidth but never queues ahead of a demand read —
+// essential on a saturated filesystem, where queued speculation would
+// only lengthen every demand stall without adding capacity. The transfer
+// takes the usual ReadTime and done runs as a kernel callback when the
+// data is available. No process is blocked and no I/O time is charged —
+// the caller decides what part of the read, if any, anyone ended up
+// waiting for.
+func (d DiskModel) ReadAsync(k *sim.Kernel, bytes int64, done func()) bool {
+	if d.Shared != nil && !d.Shared.TryAcquire() {
+		return false
+	}
+	k.After(d.ReadTime(bytes), func() {
+		if d.Shared != nil {
+			d.Shared.Release()
+		}
+		done()
+	})
+	return true
 }
 
 // OOMError reports that a processor exceeded its memory budget, the
@@ -79,6 +108,12 @@ func (e *OOMError) Error() string {
 // Cache is a per-processor LRU block cache. Loading a block charges
 // simulated I/O time; exceeding capacity purges the least recently used
 // block (counted toward block efficiency).
+//
+// Prefetch adds a second, asynchronous load path: an in-flight read
+// proceeds through the shared I/O servers while the owning processor
+// keeps computing, installs into the cache on completion, and a Get that
+// arrives while the read is still in flight waits only the residual
+// time — the rest of the read is I/O the prefetch hid (IOHiddenTime).
 type Cache struct {
 	proc     *sim.Proc
 	provider grid.Provider
@@ -90,6 +125,20 @@ type Cache struct {
 	head    *entry // most recently used
 	tail    *entry // least recently used
 	pinned  map[grid.BlockID]bool
+
+	// inflight tracks issued-but-unfinished prefetch reads; unused holds
+	// the hidden-I/O credit of installed prefetches no one has consumed
+	// yet (evicting such an entry is a wasted prefetch). maxInflight
+	// bounds len(inflight) (0 = unbounded).
+	inflight    map[grid.BlockID]*inflightRead
+	unused      map[grid.BlockID]float64
+	maxInflight int
+}
+
+// inflightRead is one asynchronous block read in progress.
+type inflightRead struct {
+	done   *sim.Event
+	issued float64 // virtual time the read was requested
 }
 
 type entry struct {
@@ -109,6 +158,8 @@ func NewCache(proc *sim.Proc, provider grid.Provider, disk DiskModel, capacity i
 		capacity: capacity,
 		entries:  make(map[grid.BlockID]*entry),
 		pinned:   make(map[grid.BlockID]bool),
+		inflight: make(map[grid.BlockID]*inflightRead),
+		unused:   make(map[grid.BlockID]float64),
 	}
 }
 
@@ -146,17 +197,46 @@ func (c *Cache) TryGet(id grid.BlockID) (grid.Evaluator, bool) {
 	if !ok {
 		return nil, false
 	}
+	c.consumePrefetch(id)
 	c.touch(e)
 	return e.eval, true
 }
 
 // Get returns an evaluator for block id, reading it from disk if absent.
 // Reads charge I/O time; insertion beyond capacity purges the least
-// recently used unpinned block.
+// recently used unpinned block. If a prefetch of id is still in flight,
+// Get waits only the residual read time — the portion that already
+// overlapped computation is credited as IOHiddenTime instead of charged
+// as a stall.
 func (c *Cache) Get(id grid.BlockID) grid.Evaluator {
-	if e, ok := c.entries[id]; ok {
-		c.touch(e)
-		return e.eval
+	for {
+		if e, ok := c.entries[id]; ok {
+			c.consumePrefetch(id)
+			c.touch(e)
+			return e.eval
+		}
+		fl, ok := c.inflight[id]
+		if !ok {
+			break
+		}
+		start := c.proc.Now()
+		fl.done.Wait(c.proc)
+		if c.stats != nil {
+			c.stats.IOTime += c.proc.Now() - start
+		}
+		// Count a hit only if the completion's install survived: a
+		// completion-time eviction (all-pinned overflow) already counted
+		// the read as wasted, and the loop will repeat it synchronously —
+		// crediting a hit or hidden time too would double-count the one
+		// issued read (hits + wasted must stay ≤ issued).
+		if _, ok := c.entries[id]; ok {
+			delete(c.unused, id) // consumed here, not via consumePrefetch
+			if c.stats != nil {
+				waited := c.proc.Now() - start
+				c.stats.PrefetchHits++
+				c.stats.IOHiddenTime += (c.proc.Now() - fl.issued) - waited
+			}
+		}
 	}
 	// Miss: read from disk.
 	c.disk.Read(c.proc, c.provider.Decomp().BlockBytes(), c.stats)
@@ -170,9 +250,88 @@ func (c *Cache) Get(id grid.BlockID) grid.Evaluator {
 	return e.eval
 }
 
-// ResidentBytes returns the simulated memory held by resident blocks.
+// Prefetch issues an asynchronous read of block id, reporting whether a
+// read was issued. It is refused — with no side effects — when the block
+// is already resident or in flight, when the per-cache in-flight limit
+// is reached, or when every shared I/O server is busy (speculation soaks
+// up idle bandwidth but never queues ahead of demand reads; see
+// DiskModel.ReadAsync). An issued read installs the block (most recently
+// used, evicting over capacity) on completion and blocks no process. Its
+// in-flight buffer counts toward ResidentBytes, so speculative reads are
+// charged against the memory budget like resident blocks. A prefetched
+// block consumed by TryGet or Get is a PrefetchHit crediting the
+// overlapped read time as IOHiddenTime; one evicted before any use is a
+// PrefetchWasted.
+func (c *Cache) Prefetch(id grid.BlockID) bool {
+	if id < 0 {
+		return false
+	}
+	if c.maxInflight > 0 && len(c.inflight) >= c.maxInflight {
+		return false
+	}
+	if _, ok := c.entries[id]; ok {
+		return false
+	}
+	if _, ok := c.inflight[id]; ok {
+		return false
+	}
+	k := c.proc.Kernel()
+	fl := &inflightRead{done: sim.NewEvent(k), issued: k.Now()}
+	issued := c.disk.ReadAsync(k, c.provider.Decomp().BlockBytes(), func() {
+		delete(c.inflight, id)
+		if c.stats != nil {
+			c.stats.BlocksLoaded++
+		}
+		e := &entry{id: id, eval: c.provider.Block(id)}
+		c.entries[id] = e
+		c.pushFront(e)
+		c.unused[id] = k.Now() - fl.issued
+		c.evictOver()
+		fl.done.Fire()
+	})
+	if !issued {
+		return false // no idle I/O server: speculation must not queue
+	}
+	c.inflight[id] = fl
+	if c.stats != nil {
+		c.stats.PrefetchIssued++
+	}
+	return true
+}
+
+// consumePrefetch credits the first use of an installed prefetched
+// block: its entire read overlapped computation.
+func (c *Cache) consumePrefetch(id grid.BlockID) {
+	hidden, ok := c.unused[id]
+	if !ok {
+		return
+	}
+	delete(c.unused, id)
+	if c.stats != nil {
+		c.stats.PrefetchHits++
+		c.stats.IOHiddenTime += hidden
+	}
+}
+
+// SetPrefetchLimit bounds the number of concurrently in-flight prefetch
+// reads (0 = unbounded): one processor's speculation should not
+// monopolize the shared I/O servers ahead of its peers' demand reads,
+// nor flood its own cache faster than it consumes.
+func (c *Cache) SetPrefetchLimit(n int) { c.maxInflight = n }
+
+// InFlight reports whether block id has an issued, unfinished prefetch.
+func (c *Cache) InFlight(id grid.BlockID) bool {
+	_, ok := c.inflight[id]
+	return ok
+}
+
+// InFlightCount returns the number of issued, unfinished prefetch reads.
+func (c *Cache) InFlightCount() int { return len(c.inflight) }
+
+// ResidentBytes returns the simulated memory held by resident blocks
+// plus the buffers of in-flight prefetch reads.
 func (c *Cache) ResidentBytes() int64 {
-	return int64(len(c.entries)) * c.provider.Decomp().BlockBytes()
+	return int64(len(c.entries)+len(c.inflight)) * c.provider.Decomp().BlockBytes()
 }
 
 // evictOver purges LRU unpinned entries until within capacity.
@@ -190,6 +349,12 @@ func (c *Cache) evictOver() {
 		}
 		c.remove(victim)
 		delete(c.entries, victim.id)
+		if _, ok := c.unused[victim.id]; ok {
+			delete(c.unused, victim.id)
+			if c.stats != nil {
+				c.stats.PrefetchWasted++
+			}
+		}
 		if c.stats != nil {
 			c.stats.BlocksPurged++
 		}
