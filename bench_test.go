@@ -504,6 +504,43 @@ func BenchmarkPrefetchCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkInjectionCampaign compares the seed-release schedules
+// (DESIGN.md §9) on the Load-On-Demand astro cell: the paper's
+// all-at-t0 release against uniform staggering and burst waves,
+// reporting the simulated wall clock, the peak simultaneous working
+// population and the release-stall profile of each.
+func BenchmarkInjectionCampaign(b *testing.B) {
+	sc := experiments.SmallScale()
+	procs := sc.ProcCounts[len(sc.ProcCounts)/2]
+	for _, inj := range []experiments.Injection{
+		experiments.InjectT0, experiments.InjectStagger, experiments.InjectBurst,
+	} {
+		name := string(inj)
+		if !inj.Enabled() {
+			name = "t0"
+		}
+		b.Run(name, func(b *testing.B) {
+			prob, err := experiments.BuildInjectedProblem(experiments.Astro, experiments.Sparse, sc, false, inj)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := experiments.MachineConfig(core.LoadOnDemand, procs, sc)
+			var s metrics.Summary
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(prob, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = res.Summary
+			}
+			b.ReportMetric(s.WallClock, "vwall-s")
+			b.ReportMetric(float64(s.ActivePeak), "apeak")
+			b.ReportMetric(float64(s.ReleaseStalls), "rstalls")
+			b.ReportMetric(s.ReleaseStallTime, "vstall-s")
+		})
+	}
+}
+
 // BenchmarkFTLE measures the flow-map analysis built on the integrator.
 func BenchmarkFTLE(b *testing.B) {
 	f := field.DefaultABC()

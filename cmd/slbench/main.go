@@ -20,6 +20,8 @@
 //	slbench -unsteady -tslices 9  # finer time slicing (DESIGN.md §7)
 //	slbench -prefetch neighbor    # every cell with async prefetching (§8)
 //	slbench -unsteady -prefetch both -prefetch-depth 3
+//	slbench -inject stagger       # every cell with staggered seeding (§9)
+//	slbench -inject burst -inject-waves 8
 package main
 
 import (
@@ -54,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tslices   = fs.Int("tslices", 0, "stored time slices for unsteady cells (0 = scale default)")
 		pfPolicy  = fs.String("prefetch", "off", "run every cell with predictive block prefetching: off, neighbor, temporal, or both (DESIGN.md §8)")
 		pfDepth   = fs.Int("prefetch-depth", 0, "lookahead per prefetch predictor (0 = scale default)")
+		injName   = fs.String("inject", "off", "run every cell with a seed-release schedule: off (all at t0), stagger, burst, or rate (DESIGN.md §9)")
+		injWaves  = fs.Int("inject-waves", 0, "release waves for the burst injection schedule (0 = scale default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -102,11 +106,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sc.PrefetchDepth = *pfDepth
 	}
 
+	inj := experiments.Injection(*injName)
+	if err := inj.Validate(); err != nil {
+		fmt.Fprintf(stderr, "slbench: %v\n", err)
+		return 2
+	}
+	if *injWaves != 0 {
+		// -inject-waves shapes the burst schedule, which only exists
+		// under -inject burst (the §9 shape checks use the stagger
+		// schedule); anywhere else the flag would be silently ignored.
+		if inj != experiments.InjectBurst {
+			fmt.Fprintln(stderr, "slbench: -inject-waves requires -inject burst")
+			return 2
+		}
+		if *injWaves < 1 {
+			fmt.Fprintf(stderr, "slbench: need at least 1 injection wave, got %d\n", *injWaves)
+			return 2
+		}
+		sc.InjectWaves = *injWaves
+	}
+
 	c := experiments.NewCampaign(sc)
 	c.Workers = *jobs
 	c.Unsteady = *unsteady
 	if pf.Enabled() {
 		c.Prefetch = pf
+	}
+	if inj.Enabled() {
+		c.Injection = inj
 	}
 	if *verbose {
 		c.Log = func(s string) { fmt.Fprintln(stderr, s) }

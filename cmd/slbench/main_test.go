@@ -136,3 +136,36 @@ func TestRunBadPrefetchFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestRunInjectFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-figure", "5", "-inject", "burst", "-inject-waves", "2"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"astro/sparse/ondemand/8+i:burst", "apeak", "rstalls"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("injection figure table missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunBadInjectFlags(t *testing.T) {
+	cases := [][]string{
+		{"-inject", "sideways"},
+		{"-inject", "burst", "-inject-waves", "-2"},
+		{"-inject-waves", "4"},            // no burst cells to shape
+		{"-shapes", "-inject-waves", "4"}, // the shape checks have no burst cells either
+		{"-inject", "stagger", "-inject-waves", "4"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

@@ -19,6 +19,12 @@
 // temporally across epochs (temporal), or both — and overlaps their
 // reads with computation; -prefetch-depth tunes the lookahead.
 //
+// With -inject the seeds are released over time instead of all at t0
+// (DESIGN.md §9): uniformly staggered (stagger), in bursty waves
+// (burst, tuned by -inject-waves), or rate-limited (rate). Injection
+// reshapes when work exists — and so the load balance — but never any
+// particle's geometry.
+//
 // Usage examples:
 //
 //	slrun -dataset astro -seeding sparse -alg hybrid -procs 128
@@ -30,6 +36,8 @@
 //	slrun -unsteady -tslices 9 -alg hybrid              # finer time slicing
 //	slrun -alg ondemand -prefetch neighbor              # hide I/O behind compute
 //	slrun -unsteady -alg ondemand -prefetch both -prefetch-depth 3
+//	slrun -alg ondemand -inject stagger                 # streak-line seeding
+//	slrun -alg hybrid -inject burst -inject-waves 8     # bursty rake seeding
 package main
 
 import (
@@ -85,6 +93,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tslices     = fs.Int("tslices", 0, "with -unsteady: stored time slices (0 = scale default)")
 		prefetchPol = fs.String("prefetch", "off", "predictive block prefetching: off, neighbor, temporal, or both (DESIGN.md §8)")
 		prefetchD   = fs.Int("prefetch-depth", 0, "with -prefetch: lookahead per predictor (0 = scale default)")
+		injectName  = fs.String("inject", "off", "seed-release schedule: off (all at t0), stagger, burst, or rate (DESIGN.md §9)")
+		injectWaves = fs.Int("inject-waves", 0, "with -inject burst: release waves across the injection window (0 = scale default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -157,6 +167,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "slrun: %v\n", err)
 		return 2
 	}
+	inj := experiments.Injection(*injectName)
+	if err := inj.Validate(); err != nil {
+		fmt.Fprintf(stderr, "slrun: %v\n", err)
+		return 2
+	}
+	if *injectWaves != 0 {
+		// -inject-waves shapes the burst schedule; anywhere else the flag
+		// would be silently ignored.
+		if inj != experiments.InjectBurst {
+			fmt.Fprintln(stderr, "slrun: -inject-waves requires -inject burst")
+			return 2
+		}
+		if *injectWaves < 1 {
+			fmt.Fprintf(stderr, "slrun: need at least 1 injection wave, got %d\n", *injectWaves)
+			return 2
+		}
+		sc.InjectWaves = *injectWaves
+	}
 	if *prefetchD != 0 {
 		if !pf.Enabled() {
 			fmt.Fprintln(stderr, "slrun: -prefetch-depth requires -prefetch")
@@ -170,9 +198,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if len(procCounts) > 1 {
-		return runSweep(sc, *dataset, *seeding, *alg, procCounts, *jobs, *unsteady, pf, steal, stdout, stderr)
+		return runSweep(sc, *dataset, *seeding, *alg, procCounts, *jobs, *unsteady, pf, inj, steal, stdout, stderr)
 	}
-	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, *unsteady, pf, steal, stdout, stderr)
+	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, *unsteady, pf, inj, steal, stdout, stderr)
 }
 
 // applySteal folds the -steal-* flag overrides into a machine config,
@@ -191,7 +219,7 @@ func applySteal(cfg *core.Config, steal core.StealParams) {
 
 // runSweep executes one (dataset, seeding, algorithm) cell at several
 // processor counts on the campaign worker pool and prints a summary table.
-func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []int, jobs int, unsteady bool, pf prefetch.Policy, steal core.StealParams, stdout, stderr io.Writer) int {
+func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []int, jobs int, unsteady bool, pf prefetch.Policy, inj experiments.Injection, steal core.StealParams, stdout, stderr io.Writer) int {
 	// The campaign keeps the scale's own ProcCounts so MemoryBudget (which
 	// derives from the sweep minimum) matches what a single -procs run of
 	// the same scale would use; the sweep cells come from the explicit key
@@ -203,11 +231,12 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 	keys := make([]experiments.Key, 0, len(procCounts))
 	for _, p := range procCounts {
 		k := experiments.Key{
-			Dataset:  experiments.Dataset(dataset),
-			Seeding:  experiments.Seeding(seeding),
-			Alg:      core.Algorithm(alg),
-			Procs:    p,
-			Unsteady: unsteady,
+			Dataset:   experiments.Dataset(dataset),
+			Seeding:   experiments.Seeding(seeding),
+			Alg:       core.Algorithm(alg),
+			Procs:     p,
+			Unsteady:  unsteady,
+			Injection: inj,
 		}
 		if pf.Enabled() {
 			k.Prefetch = pf
@@ -232,6 +261,9 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 	if pf.Enabled() {
 		cols = append(cols, "hidden", "prefetch", "pfwaste")
 	}
+	if inj.Enabled() {
+		cols = append(cols, "apeak", "rstalls")
+	}
 	fmt.Fprint(stdout, metrics.Table(rows, cols))
 	if failed > 0 {
 		// Match the single-run convention: any failed cell (e.g. the
@@ -242,21 +274,15 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 }
 
 // runSingle executes one configuration and prints the detailed report.
-func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, unsteady bool, pf prefetch.Policy, steal core.StealParams, stdout, stderr io.Writer) int {
-	var prob core.Problem
-	var err error
-	if unsteady {
-		prob, err = experiments.BuildUnsteadyProblem(experiments.Dataset(dataset), experiments.Seeding(seeding), sc, sc.TimeSlices)
-	} else {
-		prob, err = experiments.BuildProblem(experiments.Dataset(dataset), experiments.Seeding(seeding), sc)
-	}
+func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, unsteady bool, pf prefetch.Policy, inj experiments.Injection, steal core.StealParams, stdout, stderr io.Writer) int {
+	prob, err := experiments.BuildInjectedProblem(experiments.Dataset(dataset), experiments.Seeding(seeding), sc, unsteady, inj)
 	if err != nil {
 		fmt.Fprintln(stderr, "slrun:", err)
 		return 2
 	}
 	cfg := experiments.KeyMachineConfig(experiments.Key{
 		Dataset: experiments.Dataset(dataset), Seeding: experiments.Seeding(seeding),
-		Alg: core.Algorithm(alg), Procs: procs, Unsteady: unsteady, Prefetch: pf,
+		Alg: core.Algorithm(alg), Procs: procs, Unsteady: unsteady, Prefetch: pf, Injection: inj,
 	}, sc)
 	applySteal(&cfg, steal)
 	d := prob.Provider.Decomp()
@@ -300,6 +326,10 @@ func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, pe
 		fmt.Fprintf(stdout, "prefetch (hit/issued) %5d/%d   (%d wasted)\n",
 			s.PrefetchHits, s.PrefetchIssued, s.PrefetchWasted)
 		fmt.Fprintf(stdout, "I/O hidden          %10.3f s\n", s.IOHiddenTime)
+	}
+	if inj.Enabled() {
+		fmt.Fprintf(stdout, "active peak         %10d   streamlines on one processor\n", s.ActivePeak)
+		fmt.Fprintf(stdout, "release stalls      %10d   (%.3f s parked)\n", s.ReleaseStalls, s.ReleaseStallTime)
 	}
 
 	if perProc {

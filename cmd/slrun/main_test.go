@@ -153,6 +153,57 @@ func TestRunPrefetchSweep(t *testing.T) {
 	}
 }
 
+func TestRunInjectSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "astro", "-seeding", "sparse",
+		"-alg", "ondemand", "-procs", "8", "-inject", "burst", "-inject-waves", "3"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"active peak", "release stalls"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunInjectSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "astro", "-seeding", "sparse",
+		"-alg", "stealing", "-procs", "8,16", "-inject", "stagger"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"astro/sparse/stealing/8+i:stagger", "apeak", "rstalls"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunBadInjectFlags(t *testing.T) {
+	cases := [][]string{
+		{"-inject", "sideways"},
+		{"-inject", "burst", "-inject-waves", "-1"},
+		{"-inject", "stagger", "-inject-waves", "4"}, // waves shape burst only
+		{"-inject-waves", "4"},                       // no burst cells to shape
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
 func TestRunSweepFailureExitCode(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation too slow for -short")

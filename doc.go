@@ -13,11 +13,16 @@
 // predictive prefetching (-prefetch, internal/prefetch) overlaps block
 // reads with computation in all four algorithms, hiding the blocking
 // I/O the paper's Figure 6 measures while keeping geometry bit-identical.
+// Staggered seed release (-inject, internal/seeds injection schedules)
+// makes streak-line-style continuous injection a first-class workload:
+// seeds released over time reshape load balance and I/O burstiness while
+// every particle's geometry stays pinned by the same golden digests.
 //
 // See README.md for a tour and DESIGN.md for the system inventory,
 // substitutions, design-choice notes, the work-stealing scheme
-// (DESIGN.md §6), the unsteady substrate (§7) and the async-prefetch
-// subsystem (§8). The entry points are:
+// (DESIGN.md §6), the unsteady substrate (§7), the async-prefetch
+// subsystem (§8) and the injection-schedule subsystem (§9). The entry
+// points are:
 //
 //   - internal/core: the four algorithms (core.Run)
 //   - internal/experiments: datasets, machine model, figure harness

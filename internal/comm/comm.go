@@ -136,6 +136,21 @@ func (e *Endpoint) Recv() Envelope {
 	return env
 }
 
+// RecvUntil blocks until a message arrives or the virtual clock reaches
+// deadline, whichever comes first. On timeout it reports false and
+// charges nothing; a delivered message is charged receive overhead
+// exactly like Recv. Workers stalled on a future seed release use it to
+// stay responsive to messages while parked (DESIGN.md §9).
+func (e *Endpoint) RecvUntil(deadline float64) (Envelope, bool) {
+	raw, ok := e.proc.RecvUntil(deadline)
+	if !ok {
+		return Envelope{}, false
+	}
+	env := raw.(Envelope)
+	e.recvCharge(env)
+	return env, true
+}
+
 // TryRecv returns a pending message without blocking.
 func (e *Endpoint) TryRecv() (Envelope, bool) {
 	raw, ok := e.proc.TryRecv()

@@ -220,3 +220,46 @@ func TestNilStatsSafe(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRecvUntil covers the deadline-bounded receive the injection
+// stalls use (DESIGN.md §9): a timeout charges nothing, a delivery cuts
+// the wait short and is charged exactly like Recv.
+func TestRecvUntil(t *testing.T) {
+	k := sim.New()
+	f := NewFabric(Network{LatencySec: 0.001, RecvOverheadSec: 0.002})
+	stats := metrics.NewCollector(2)
+	var timeoutAt, msgAt float64
+	var timedOut, gotMsg bool
+	var endB *Endpoint
+	procB := k.Spawn("b", func(p *sim.Proc) {
+		if _, ok := endB.RecvUntil(0.05); !ok {
+			timedOut = true
+		}
+		timeoutAt = p.Now()
+		env, ok := endB.RecvUntil(10)
+		gotMsg = ok && env.Payload.(Sized) == Sized(64)
+		msgAt = p.Now()
+	})
+	endB = f.Attach(procB, stats.P(1))
+	var endA *Endpoint
+	procA := k.Spawn("a", func(p *sim.Proc) {
+		p.Sleep(0.1)
+		endA.Send(endB.Index(), Sized(64))
+	})
+	endA = f.Attach(procA, stats.P(0))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut || timeoutAt != 0.05 {
+		t.Errorf("timeout path: ok=%v at %g, want timeout at 0.05", !timedOut, timeoutAt)
+	}
+	if stats.P(1).MsgsRecv != 1 {
+		t.Errorf("MsgsRecv = %d, want 1 (timeout must charge nothing)", stats.P(1).MsgsRecv)
+	}
+	if !gotMsg || math.Abs(msgAt-0.103) > 1e-12 {
+		t.Errorf("delivery path: ok=%v at %g, want message at 0.103 (latency + recv overhead)", gotMsg, msgAt)
+	}
+	if stats.P(1).CommTime == 0 {
+		t.Error("delivered message not charged receive overhead")
+	}
+}

@@ -28,6 +28,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/comm"
@@ -76,6 +77,14 @@ type Problem struct {
 	MaxSteps int
 	// MaxTime bounds each streamline's integration time (0 = unlimited).
 	MaxTime float64
+	// Release holds each seed's injection time in virtual machine
+	// seconds (seeds.Schedule, DESIGN.md §9); nil means the paper's
+	// fixed population, all released at time zero. A seed with a future
+	// release is zero-cost to every algorithm until its time arrives —
+	// parked, never advanced, loaded for, or migrated. Release gates
+	// scheduling only: the geometry of a particle's path after release
+	// is independent of the schedule (pinned by the golden digests).
+	Release []float64
 }
 
 // Validate reports a descriptive error for malformed problems.
@@ -100,7 +109,25 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("core: seed %d at %v outside domain %v", i, s, d.Domain)
 		}
 	}
+	if p.Release != nil {
+		if len(p.Release) != len(p.Seeds) {
+			return fmt.Errorf("core: %d release times for %d seeds", len(p.Release), len(p.Seeds))
+		}
+		for i, t := range p.Release {
+			if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+				return fmt.Errorf("core: seed %d has invalid release time %g", i, t)
+			}
+		}
+	}
 	return nil
+}
+
+// release returns seed i's injection time (zero when no schedule is set).
+func (p *Problem) release(i int) float64 {
+	if p.Release == nil {
+		return 0
+	}
+	return p.Release[i]
 }
 
 func (p *Problem) maxSteps() int {
@@ -382,16 +409,25 @@ func (r *runState) failed() bool { return r.err != nil }
 // streamline's memory accounting.
 func (r *runState) complete(w *worker, sl *trace.Streamline) {
 	w.stats.StreamlinesCompleted++
+	w.noteDeactivated(1)
 	if r.cfg.CollectTraces {
 		r.finished = append(r.finished, sl)
 	}
 }
 
-// seedRec pairs a seed with its containing block and global ID.
+// seedRec pairs a seed with its containing block, global ID and
+// scheduled release time.
 type seedRec struct {
-	id    int
-	p     vec.V3
-	block grid.BlockID
+	id      int
+	p       vec.V3
+	block   grid.BlockID
+	release float64
+}
+
+// streamline materializes the record as a fresh trace object carrying
+// its release time.
+func (rec seedRec) streamline() *trace.Streamline {
+	return trace.NewAt(rec.id, rec.p, rec.block, rec.release)
 }
 
 // seedRecords locates every seed, sorted by (block, id) so contiguous
@@ -404,7 +440,7 @@ func (r *runState) seedRecords() []seedRec {
 	recs := make([]seedRec, len(r.prob.Seeds))
 	for i, s := range r.prob.Seeds {
 		b, _ := d.Locate(s) // validated already
-		recs[i] = seedRec{id: i, p: s, block: b}
+		recs[i] = seedRec{id: i, p: s, block: b, release: r.prob.release(i)}
 	}
 	sort.Slice(recs, func(i, j int) bool {
 		if recs[i].block != recs[j].block {
@@ -426,6 +462,10 @@ type worker struct {
 
 	// geomBytes tracks resident streamline memory for the budget check.
 	geomBytes int64
+	// activeNow counts released, unterminated streamlines resident on
+	// this processor; its high-water mark is the ActivePeak metric, the
+	// instantaneous working population an injection schedule shapes.
+	activeNow int64
 }
 
 // newWorker attaches a worker to proc with the given cache capacity.
@@ -508,6 +548,36 @@ func (w *worker) adoptStreamline(sl *trace.Streamline) { w.geomBytes += sl.Memor
 
 // releaseStreamline accounts for a streamline leaving this processor.
 func (w *worker) releaseStreamline(sl *trace.Streamline) { w.geomBytes -= sl.MemoryBytes() }
+
+// noteActivated records streamlines entering this processor's released
+// working population (a t0 or just-released seed, or a migrated/stolen
+// arrival), tracking the ActivePeak metric.
+func (w *worker) noteActivated(n int) {
+	w.activeNow += int64(n)
+	if w.activeNow > w.stats.ActivePeak {
+		w.stats.ActivePeak = w.activeNow
+	}
+}
+
+// noteDeactivated records streamlines leaving the released working
+// population (completion here, or transmission elsewhere).
+func (w *worker) noteDeactivated(n int) { w.activeNow -= int64(n) }
+
+// stallForRelease parks the processor until the virtual clock reaches
+// next — the earliest scheduled seed release it is waiting on — while
+// staying responsive: an arriving message cuts the stall short and is
+// returned for handling. Only a stall that actually ran to the release
+// deadline is counted (a message arrival is ordinary traffic, not
+// injection starvation).
+func (w *worker) stallForRelease(next float64) (env comm.Envelope, got bool) {
+	start := w.proc.Now()
+	env, got = w.end.RecvUntil(next)
+	if !got {
+		w.stats.ReleaseStalls++
+		w.stats.ReleaseStallTime += w.proc.Now() - start
+	}
+	return env, got
+}
 
 // checkMemory enforces the per-processor budget; on violation it records
 // an OOM error on the run and reports false.
@@ -647,6 +717,7 @@ func (w *worker) sendStreamlines(to int, sls []*trace.Streamline) {
 		return
 	}
 	geom := !w.run.cfg.NoGeometry
+	w.noteDeactivated(len(sls))
 	for _, sl := range sls {
 		w.releaseStreamline(sl)
 		if !geom && len(sl.Points) > 1 {

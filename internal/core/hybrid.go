@@ -274,6 +274,10 @@ func (s *slave) advanceInLoaded(sl *trace.Streamline, ev grid.Evaluator) {
 }
 
 func (s *slave) addStreamline(sl *trace.Streamline) {
+	// Everything a slave ever holds is released work: masters park
+	// future seeds and assign them only once their schedule fires, and
+	// migrated arrivals were advanced by their sender.
+	s.w.noteActivated(1)
 	s.w.adoptStreamline(sl)
 	s.byBlock[sl.Block] = append(s.byBlock[sl.Block], sl)
 	s.active++
@@ -302,7 +306,10 @@ func (s *slave) handle(env comm.Envelope) {
 	switch m := env.Payload.(type) {
 	case msgAssign:
 		for _, rec := range m.recs {
-			s.addStreamline(trace.New(rec.id, rec.p, rec.block))
+			// rec.streamline() keeps the release time on the materialized
+			// object (assigned seeds are always already released, so this
+			// is bookkeeping consistency, not scheduling).
+			s.addStreamline(rec.streamline())
 		}
 		if _, ok := s.w.cache.TryGet(m.block); !ok {
 			s.w.cache.Get(m.block) // Assign-unloaded: "Slave loads block B."
@@ -380,9 +387,14 @@ type master struct {
 	slaves map[int]*slaveRec // by endpoint
 	order  []int             // deterministic slave iteration order
 
-	pool      map[grid.BlockID][]seedRec // unassigned seeds by block
+	pool      map[grid.BlockID][]seedRec // unassigned released seeds by block
 	poolCount int
-	rng       *rand.Rand
+	// future holds this master's seeds whose injection schedule has not
+	// released them yet, ordered by (release, id); they are invisible to
+	// every assignment rule and to master-to-master sharing until
+	// releaseDue moves them into the pool.
+	future []seedRec
+	rng    *rand.Rand
 
 	// Coordinator (master 0) state.
 	totalSeeds     int
@@ -412,13 +424,38 @@ func newMaster(r *runState, w *worker, index, nm int, group []int, pool []seedRe
 	}
 	sort.Ints(m.order)
 	for _, rec := range pool {
+		if rec.release > 0 {
+			m.future = append(m.future, rec)
+			continue
+		}
 		m.pool[rec.block] = append(m.pool[rec.block], rec)
 		m.poolCount++
 	}
+	sort.Slice(m.future, func(i, j int) bool {
+		if m.future[i].release != m.future[j].release {
+			return m.future[i].release < m.future[j].release
+		}
+		return m.future[i].id < m.future[j].id
+	})
 	if index == 0 {
 		m.totalSeeds = len(r.prob.Seeds)
 	}
 	return m
+}
+
+// releaseDue moves every future seed whose release time has arrived
+// into the assignable pool, reporting whether any moved.
+func (m *master) releaseDue() bool {
+	now := m.w.proc.Now()
+	moved := false
+	for len(m.future) > 0 && m.future[0].release <= now {
+		rec := m.future[0]
+		m.future = m.future[1:]
+		m.pool[rec.block] = append(m.pool[rec.block], rec)
+		m.poolCount++
+		moved = true
+	}
+	return moved
 }
 
 func (m *master) run() {
@@ -438,7 +475,24 @@ func (m *master) run() {
 		if m.r.failed() {
 			return
 		}
-		env := m.w.end.Recv()
+		// Fold overdue scheduled seeds into the pool first — message
+		// traffic can carry the clock past a release while we were
+		// handling it — and supply any slaves already flagged needy.
+		if m.releaseDue() {
+			m.applyRules(false)
+		}
+		var env comm.Envelope
+		if len(m.future) > 0 {
+			// Wait for slave traffic, but no longer than the next
+			// scheduled release.
+			var got bool
+			env, got = m.w.stallForRelease(m.future[0].release)
+			if !got {
+				continue // loop top releases and applies
+			}
+		} else {
+			env = m.w.end.Recv()
+		}
 		switch msg := env.Payload.(type) {
 		case msgStatus:
 			m.onStatus(msg)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // Load On Demand (paper Section 4.2): "we split up the initial seed points
@@ -47,19 +46,36 @@ func (r *runState) onDemandWorker(w *worker, mine []seedRec) {
 
 	pl := newPool(r, w)
 	for _, rec := range mine {
-		pl.adopt(trace.New(rec.id, rec.p, rec.block))
+		pl.adopt(rec.streamline())
 	}
 	if !w.checkMemory("initial streamlines") {
 		return
 	}
 
 	for pl.active > 0 && !r.failed() {
+		pl.releaseReady()
 		if len(pl.workable) > 0 {
 			pl.advanceOne()
 			continue
 		}
-		// No more work on loaded blocks: read the block that unblocks
-		// the most streamlines.
-		pl.loadBest()
+		if len(pl.pending) > 0 {
+			// No more work on loaded blocks: read the block that unblocks
+			// the most streamlines.
+			pl.loadBest()
+			continue
+		}
+		// Every released streamline is done; the rest of the split is
+		// still parked on the injection schedule. Nothing arrives over
+		// the network in this algorithm, so the stall always runs to the
+		// release deadline.
+		next, ok := pl.nextRelease()
+		if !ok {
+			// active > 0 with nothing resident anywhere: impossible
+			// unless bookkeeping broke.
+			r.fail(fmt.Errorf("core: worker %s stuck with %d active streamlines",
+				w.proc.Name(), pl.active))
+			return
+		}
+		w.stallForRelease(next)
 	}
 }

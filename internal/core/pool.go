@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -15,17 +16,48 @@ import (
 // algorithms advancing streamlines through identical pool operations is
 // what makes stealing "start exactly like Load On Demand" (DESIGN.md §6)
 // and keeps the §6 I/O-profile shape check meaningful.
+//
+// Seeds whose injection schedule releases them in the future (DESIGN.md
+// §9) wait in parked, invisible to every pool decision — they attract no
+// block loads, no steals and no compute — until releaseReady moves them
+// into circulation at their scheduled time.
 type pool struct {
 	r *runState
 	w *worker
 
 	pending  map[grid.BlockID][]*trace.Streamline
 	workable []*trace.Streamline
+	parked   parkHeap
 	active   int
 }
 
 func newPool(r *runState, w *worker) *pool {
 	return &pool{r: r, w: w, pending: make(map[grid.BlockID][]*trace.Streamline)}
+}
+
+// parkHeap orders not-yet-released streamlines by (Release, ID) — the
+// deterministic activation order the sim-level wakeup tests pin.
+type parkHeap []*trace.Streamline
+
+func (h parkHeap) Len() int { return len(h) }
+func (h parkHeap) Less(i, j int) bool {
+	if h[i].Release != h[j].Release {
+		return h[i].Release < h[j].Release
+	}
+	return h[i].ID < h[j].ID
+}
+func (h parkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
+func (h *parkHeap) Push(x any) { *h = append(*h, x.(*trace.Streamline)) }
+
+// Pop implements heap.Interface.
+func (h *parkHeap) Pop() any {
+	old := *h
+	n := len(old)
+	sl := old[n-1]
+	*h = old[:n-1]
+	return sl
 }
 
 // place routes an active streamline to workable or pending depending on
@@ -39,11 +71,39 @@ func (pl *pool) place(sl *trace.Streamline) {
 }
 
 // adopt takes ownership of a streamline (a fresh seed or a stolen or
-// migrated arrival), accounting for its memory.
+// migrated arrival), accounting for its memory. A seed the injection
+// schedule has not yet released is parked instead of placed; arrivals
+// are always already released (work only migrates after it was advanced
+// somewhere, which requires release).
 func (pl *pool) adopt(sl *trace.Streamline) {
 	pl.w.adoptStreamline(sl)
-	pl.place(sl)
 	pl.active++
+	if sl.Release > pl.w.proc.Now() {
+		heap.Push(&pl.parked, sl)
+		return
+	}
+	pl.w.noteActivated(1)
+	pl.place(sl)
+}
+
+// releaseReady moves every parked streamline whose release time has
+// arrived into circulation, in deterministic (Release, ID) order.
+func (pl *pool) releaseReady() {
+	now := pl.w.proc.Now()
+	for len(pl.parked) > 0 && pl.parked[0].Release <= now {
+		sl := heap.Pop(&pl.parked).(*trace.Streamline)
+		pl.w.noteActivated(1)
+		pl.place(sl)
+	}
+}
+
+// nextRelease returns the earliest parked release time, or false when
+// nothing is parked.
+func (pl *pool) nextRelease() (float64, bool) {
+	if len(pl.parked) == 0 {
+		return 0, false
+	}
+	return pl.parked[0].Release, true
 }
 
 // advanceOne integrates the most recent workable streamline through its

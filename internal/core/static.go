@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/comm"
 	"repro/internal/grid"
@@ -48,12 +49,12 @@ func (r *runState) buildStatic() {
 
 	// Pre-route every seed to the owner of its block (initial seed
 	// distribution; not charged as communication, matching the paper's
-	// setup phase).
+	// setup phase). Seeds with future release times are pre-routed too —
+	// the owner parks them until the injection schedule activates them.
 	initial := make([][]*trace.Streamline, n)
 	for _, rec := range r.seedRecords() {
-		sl := trace.New(rec.id, rec.p, rec.block)
 		o := owner(rec.block)
-		initial[o] = append(initial[o], sl)
+		initial[o] = append(initial[o], rec.streamline())
 	}
 
 	for i := 0; i < n; i++ {
@@ -86,9 +87,33 @@ func (r *runState) buildStatic() {
 func (r *runState) staticWorker(w *worker, owner func(grid.BlockID) int, initial []*trace.Streamline, preload []grid.BlockID) {
 	defer func() { w.stats.EndTime = w.proc.Now() }()
 
-	queue := initial
-	for _, sl := range queue {
+	// Split the pre-routed seeds into the immediately workable queue and
+	// the parked future releases, activation-ordered by (Release, ID).
+	queue := make([]*trace.Streamline, 0, len(initial))
+	var future []*trace.Streamline
+	for _, sl := range initial {
 		w.adoptStreamline(sl)
+		if sl.Release > w.proc.Now() {
+			future = append(future, sl)
+		} else {
+			w.noteActivated(1)
+			queue = append(queue, sl)
+		}
+	}
+	sort.Slice(future, func(i, j int) bool {
+		if future[i].Release != future[j].Release {
+			return future[i].Release < future[j].Release
+		}
+		return future[i].ID < future[j].ID
+	})
+	// releaseDue activates parked seeds whose scheduled time arrived.
+	releaseDue := func() {
+		now := w.proc.Now()
+		for len(future) > 0 && future[0].Release <= now {
+			w.noteActivated(1)
+			queue = append(queue, future[0])
+			future = future[1:]
+		}
 	}
 	if !w.checkMemory("initial streamlines") {
 		return
@@ -125,6 +150,9 @@ func (r *runState) staticWorker(w *worker, owner func(grid.BlockID) int, initial
 	handle := func(env comm.Envelope) {
 		switch m := env.Payload.(type) {
 		case msgStreamlines:
+			// Migrated arrivals were advanced by their sender, so they are
+			// always already released.
+			w.noteActivated(len(m.sls))
 			for _, sl := range m.sls {
 				w.adoptStreamline(sl)
 				queue = append(queue, sl)
@@ -151,8 +179,18 @@ func (r *runState) staticWorker(w *worker, owner func(grid.BlockID) int, initial
 		if done || r.failed() {
 			return
 		}
+		releaseDue()
 
 		if len(queue) == 0 {
+			if len(future) > 0 {
+				// Owned seeds are still parked on the injection schedule:
+				// wait for their release, cut short by any arriving
+				// streamline or termination message.
+				if env, got := w.stallForRelease(future[0].Release); got {
+					handle(env)
+				}
+				continue
+			}
 			// Nothing to integrate: wait for streamlines or termination.
 			handle(w.end.Recv())
 			continue

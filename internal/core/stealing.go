@@ -24,7 +24,11 @@ import (
 //     exceed the seed total and equality implies global termination.
 //   - The token is passed only by idle processors; a busy processor holds
 //     it until its pool drains, so the ring generates no traffic while
-//     progress is being made elsewhere.
+//     progress is being made elsewhere. Parked future seeds (staggered
+//     injection, DESIGN.md §9) count as busy: a processor waiting on its
+//     release schedule holds the token through the stall, which keeps the
+//     completion-sum argument intact and prevents a zero-cost ring spin
+//     at one virtual instant while the whole ring is starved.
 //   - A hungry processor probes at most Fanout distinct victims, then
 //     goes quiet until the token's next visit re-arms it — probe traffic
 //     is bounded by token traffic, which is bounded by idleness.
@@ -137,7 +141,7 @@ func (t *thief) run(mine []seedRec) {
 	defer func() { t.w.stats.EndTime = t.w.proc.Now() }()
 
 	for _, rec := range mine {
-		t.pool.adopt(trace.New(rec.id, rec.p, rec.block))
+		t.pool.adopt(rec.streamline())
 	}
 	if !t.w.checkMemory("initial streamlines") {
 		return
@@ -159,6 +163,7 @@ func (t *thief) run(mine []seedRec) {
 		if t.r.failed() {
 			return
 		}
+		t.pool.releaseReady()
 
 		if len(t.pool.workable) > 0 {
 			if t.pool.advanceOne() {
@@ -166,13 +171,19 @@ func (t *thief) run(mine []seedRec) {
 			}
 			continue
 		}
-		if t.pool.active > 0 {
+		if len(t.pool.pending) > 0 {
 			t.pool.loadBest()
 			continue
 		}
 
-		// Pool dry. Keep the termination ring moving before probing.
-		if t.holding {
+		// Dry of released work. The token moves only when the pool is
+		// completely empty — parked future seeds count as busy, so a
+		// processor waiting on its injection schedule holds the token
+		// through the stall. Passing while parked would let a zero-cost
+		// ring spin at one virtual instant (every hop free, the release
+		// timer never reached); holding instead keeps the sum argument
+		// intact, since the holder's own completions are still missing.
+		if t.holding && t.pool.active == 0 {
 			t.passToken()
 			continue
 		}
@@ -180,7 +191,14 @@ func (t *thief) run(mine []seedRec) {
 			t.probe()
 			continue
 		}
-		// Quiet: wait for a reply, the token, work, or termination.
+		// Quiet: wait for a reply, the token, work, termination — or
+		// this processor's next scheduled seed release.
+		if next, ok := t.pool.nextRelease(); ok {
+			if env, got := t.w.stallForRelease(next); got {
+				t.handle(env)
+			}
+			continue
+		}
 		t.handle(t.w.end.Recv())
 	}
 }
@@ -205,9 +223,11 @@ func (t *thief) handle(env comm.Envelope) {
 		t.counts = m.counts
 		t.holding = true
 		t.resetProbes()
+		t.pool.releaseReady()
 		if t.pool.active == 0 {
-			// Idle processors forward immediately; busy ones hold the
-			// token until their pool drains.
+			// Idle processors forward immediately; busy ones — parked
+			// future seeds included — hold the token until their pool
+			// drains (see the main loop for why parked work must hold).
 			t.passToken()
 		}
 	case msgAllDone:

@@ -92,6 +92,18 @@ type Scale struct {
 	// whose Key carries a prefetch policy — the -prefetch-depth flag
 	// overrides it. Cells with prefetching off ignore it.
 	PrefetchDepth int
+	// InjectWindow is the virtual-second interval over which staggered
+	// injection schedules (DESIGN.md §9) spread seed releases; cells
+	// whose Key carries an all-at-t0 injection ignore it. Calibrated per
+	// scale to the same order as the campaign wall clocks, so late
+	// releases genuinely overlap — and reshape — the computation.
+	InjectWindow float64
+	// InjectWaves is the wave count of the burst injection schedule —
+	// the -inject-waves flag overrides it.
+	InjectWaves int
+	// InjectRate is the rate-limited injection schedule's release rate
+	// in seeds per virtual second.
+	InjectRate float64
 }
 
 // ScaleByName resolves a scale name as used by the sl* commands' -scale
@@ -131,6 +143,11 @@ func PaperScale() Scale {
 		DiskServers:   8,
 		TimeSlices:    9,
 		PrefetchDepth: 2,
+		// Paper-scale runs last tens of virtual seconds; a 10 s window
+		// keeps the last waves landing while early seeds still compute.
+		InjectWindow: 10,
+		InjectWaves:  4,
+		InjectRate:   2000,
 	}
 }
 
@@ -165,6 +182,11 @@ func DefaultScale() Scale {
 	// 4 epochs: enough that pathlines sweep several time slabs within
 	// their step budget while the campaign stays minutes-scale.
 	s.TimeSlices = 5
+	// Default-scale cells run ~1-4 virtual seconds; a 1 s window makes
+	// the injection schedule overlap roughly the first half of a run.
+	s.InjectWindow = 1
+	s.InjectWaves = 4
+	s.InjectRate = 2000
 	return s
 }
 
@@ -189,6 +211,9 @@ func SmallScale() Scale {
 		DiskLatencySec:    0.001, // 128 KB test blocks read fast
 		TimeSlices:        4,
 		PrefetchDepth:     2,
+		InjectWindow:      0.2,
+		InjectWaves:       4,
+		InjectRate:        1000,
 	}
 }
 
@@ -412,28 +437,39 @@ type Key struct {
 	// (internal/prefetch) at Scale.PrefetchDepth lookahead. The zero
 	// value (and prefetch.Off) runs without prefetching.
 	Prefetch prefetch.Policy
+	// Injection selects the seed-release schedule of the cell
+	// (DESIGN.md §9) over Scale.InjectWindow. The zero value (and
+	// "t0"/"off") releases every seed at time zero, the paper's
+	// workload.
+	Injection Injection
 }
 
 // normalized maps the equivalent no-prefetch spellings ("" and
-// prefetch.Off) to one canonical key, so a cell cannot run or cache
-// twice under two names.
+// prefetch.Off) and all-at-t0 injection spellings ("", "t0", "off") to
+// one canonical key, so a cell cannot run or cache twice under two
+// names.
 func (k Key) normalized() Key {
 	if !k.Prefetch.Enabled() {
 		k.Prefetch = ""
 	}
+	k.Injection = k.Injection.normalized()
 	return k
 }
 
 // Label renders the key the way tables list runs; unsteady (pathline)
-// cells carry a "u:" prefix, prefetching cells a "+pf:<policy>" suffix.
+// cells carry a "u:" prefix, staggered-injection cells an
+// "+i:<schedule>" suffix, prefetching cells a "+pf:<policy>" suffix.
 func (k Key) Label() string {
 	prefix := ""
 	if k.Unsteady {
 		prefix = "u:"
 	}
 	suffix := ""
+	if k.Injection.Enabled() {
+		suffix += "+i:" + string(k.Injection)
+	}
 	if k.Prefetch.Enabled() {
-		suffix = "+pf:" + string(k.Prefetch)
+		suffix += "+pf:" + string(k.Prefetch)
 	}
 	return fmt.Sprintf("%s%s/%s/%s/%d%s", prefix, k.Dataset, k.Seeding, k.Alg, k.Procs, suffix)
 }
@@ -474,6 +510,10 @@ type Campaign struct {
 	// every cell with that prefetch policy — the slbench -prefetch mode.
 	// Explicitly-built Keys are unaffected.
 	Prefetch prefetch.Policy
+	// Injection, when an enabled schedule, makes the key enumerators
+	// emit every cell with that seed-release schedule — the slbench
+	// -inject mode. Explicitly-built Keys are unaffected.
+	Injection Injection
 
 	mu       sync.Mutex
 	results  map[Key]Outcome
@@ -496,12 +536,13 @@ func NewCampaign(sc Scale) *Campaign {
 }
 
 // problemKey indexes the memoized problems: every figure cell that shares
-// a (dataset, seeding, unsteady) triple shares one grid/field/seed
-// construction.
+// a (dataset, seeding, unsteady, injection) tuple shares one
+// grid/field/seed/schedule construction.
 type problemKey struct {
 	ds       Dataset
 	seeding  Seeding
 	unsteady bool
+	inject   Injection
 }
 
 // problemEntry builds its problem exactly once, even under concurrent
@@ -512,12 +553,12 @@ type problemEntry struct {
 	err  error
 }
 
-// problem returns the memoized BuildProblem (or BuildUnsteadyProblem)
-// result for (ds, seeding, unsteady). The returned Problem is shared
+// problem returns the memoized BuildInjectedProblem result for
+// (ds, seeding, unsteady, injection). The returned Problem is shared
 // between concurrent core.Run calls; that is safe because Run treats the
 // problem as read-only (see core.Run).
-func (c *Campaign) problem(ds Dataset, seeding Seeding, unsteady bool) (core.Problem, error) {
-	pk := problemKey{ds: ds, seeding: seeding, unsteady: unsteady}
+func (c *Campaign) problem(ds Dataset, seeding Seeding, unsteady bool, inject Injection) (core.Problem, error) {
+	pk := problemKey{ds: ds, seeding: seeding, unsteady: unsteady, inject: inject.normalized()}
 	c.probMu.Lock()
 	e, ok := c.problems[pk]
 	if !ok {
@@ -526,11 +567,7 @@ func (c *Campaign) problem(ds Dataset, seeding Seeding, unsteady bool) (core.Pro
 	}
 	c.probMu.Unlock()
 	e.once.Do(func() {
-		if unsteady {
-			e.prob, e.err = BuildUnsteadyProblem(ds, seeding, c.Scale, c.Scale.TimeSlices)
-		} else {
-			e.prob, e.err = BuildProblem(ds, seeding, c.Scale)
-		}
+		e.prob, e.err = BuildInjectedProblem(ds, seeding, c.Scale, unsteady, pk.inject)
 	})
 	return e.prob, e.err
 }
@@ -587,7 +624,7 @@ func (c *Campaign) Run(k Key) Outcome {
 // execute performs the simulation for one configuration (no caching).
 func (c *Campaign) execute(k Key) Outcome {
 	out := Outcome{Key: k}
-	prob, err := c.problem(k.Dataset, k.Seeding, k.Unsteady)
+	prob, err := c.problem(k.Dataset, k.Seeding, k.Unsteady, k.Injection)
 	if err != nil {
 		out.Err = err
 		return out
@@ -629,7 +666,8 @@ func (c *Campaign) DatasetKeys(ds Dataset) []Key {
 	for _, seeding := range Seedings() {
 		for _, alg := range core.Algorithms() {
 			for _, procs := range c.Scale.ProcCounts {
-				keys = append(keys, Key{Dataset: ds, Seeding: seeding, Alg: alg, Procs: procs, Unsteady: c.Unsteady, Prefetch: pf})
+				keys = append(keys, Key{Dataset: ds, Seeding: seeding, Alg: alg, Procs: procs,
+					Unsteady: c.Unsteady, Prefetch: pf, Injection: c.Injection.normalized()})
 			}
 		}
 	}
@@ -721,7 +759,8 @@ func (c *Campaign) FigureRows(fig Figure) []metrics.TableRow {
 // FigureColumns returns the metric columns a figure's table renders: the
 // figure's own metric, plus the epoch-crossing count when the campaign
 // runs unsteady (pathline) cells, plus the hidden-I/O and hit/issue
-// columns when it runs prefetching cells.
+// columns when it runs prefetching cells, plus the active-peak and
+// release-stall columns when it runs staggered-injection cells.
 func (c *Campaign) FigureColumns(fig Figure) []string {
 	cols := []string{fig.Metric}
 	if c.Unsteady {
@@ -729,6 +768,9 @@ func (c *Campaign) FigureColumns(fig Figure) []string {
 	}
 	if c.Prefetch.Enabled() {
 		cols = append(cols, "hidden", "prefetch", "pfwaste")
+	}
+	if c.Injection.Enabled() {
+		cols = append(cols, "apeak", "rstalls")
 	}
 	return cols
 }

@@ -366,12 +366,19 @@ func TestCampaignUnsteadyFlagFlipsKeys(t *testing.T) {
 
 func TestShapeKeysIncludeUnsteadyCells(t *testing.T) {
 	c := NewCampaign(SmallScale())
-	un, pf := 0, 0
+	un, pf, inj := 0, 0, 0
 	for _, k := range ShapeKeys(c) {
 		if k.Prefetch.Enabled() {
 			pf++
 			if k.Dataset != Astro || k.Seeding != Sparse || k.Alg != core.LoadOnDemand {
 				t.Errorf("unexpected prefetch shape cell %v", k.Label())
+			}
+			continue
+		}
+		if k.Injection.Enabled() {
+			inj++
+			if k.Dataset != Astro || k.Injection != InjectStagger {
+				t.Errorf("unexpected injection shape cell %v", k.Label())
 			}
 			continue
 		}
@@ -387,6 +394,9 @@ func TestShapeKeysIncludeUnsteadyCells(t *testing.T) {
 	}
 	if pf != 2 {
 		t.Errorf("prefetch shape cells = %d, want 2 (neighbor steady + temporal unsteady)", pf)
+	}
+	if inj != 3 {
+		t.Errorf("injection shape cells = %d, want 3 (static+ondemand dense, ondemand unsteady)", inj)
 	}
 }
 

@@ -23,10 +23,10 @@ import (
 // digests — that is the regression this test exists to catch.
 var updateGoldens = flag.Bool("update", false, "rewrite the golden geometry digests")
 
-// goldenScale is a trimmed configuration so the 48 runs (3 datasets ×
-// {steady, unsteady} × 4 algorithms × prefetch {off, both}) stay
-// test-suite fast while still crossing blocks, epochs and processor
-// boundaries.
+// goldenScale is a trimmed configuration so the 96 runs (3 datasets ×
+// {steady, unsteady} × 4 algorithms × prefetch {off, both} × injection
+// {t0, stagger}) stay test-suite fast while still crossing blocks,
+// epochs and processor boundaries.
 func goldenScale() Scale {
 	sc := SmallScale()
 	sc.AstroSeeds = 50
@@ -38,10 +38,14 @@ func goldenScale() Scale {
 
 // TestGoldenDigests pins the streamline/pathline geometry of every
 // (dataset × workload) cell to a checked-in SHA-256 digest, and asserts
-// all four algorithms — each with prefetching fully off and fully on —
-// produce that exact digest. Scheduler edits, steal-policy tweaks,
-// master-rule changes or prefetch reordering can therefore never
-// silently change results: any numerics drift fails here first.
+// all four algorithms — each with prefetching fully off and fully on,
+// each with seeds released all at t0 and staggered across the injection
+// window — produce that exact digest. Scheduler edits, steal-policy
+// tweaks, master-rule changes, prefetch reordering or injection-schedule
+// changes can therefore never silently change results: any numerics
+// drift fails here first. (Injection reshapes timing and load balance,
+// never the geometry of a particle's path after release — which is why
+// the staggered runs share the t0 goldens rather than having their own.)
 //
 // The digests are computed over exact IEEE-754 bits (trace.
 // CanonicalDigest). Go's floating-point evaluation of this code is
@@ -51,7 +55,7 @@ func goldenScale() Scale {
 // commit.
 func TestGoldenDigests(t *testing.T) {
 	if testing.Short() {
-		t.Skip("48 simulations too slow for -short")
+		t.Skip("96 simulations too slow for -short")
 	}
 	sc := goldenScale()
 	procs := 8
@@ -65,38 +69,39 @@ func TestGoldenDigests(t *testing.T) {
 			}
 			key := fmt.Sprintf("%s/%s", ds, workload)
 
-			var prob core.Problem
-			var err error
-			if unsteady {
-				prob, err = BuildUnsteadyProblem(ds, Sparse, sc, sc.TimeSlices)
-			} else {
-				prob, err = BuildProblem(ds, Sparse, sc)
-			}
-			if err != nil {
-				t.Fatalf("%s: %v", key, err)
+			probs := map[Injection]core.Problem{}
+			for _, inj := range []Injection{InjectT0, InjectStagger} {
+				prob, err := BuildInjectedProblem(ds, Sparse, sc, unsteady, inj)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", key, inj, err)
+				}
+				probs[inj] = prob
 			}
 
 			ref := ""
 			refAlg := ""
 			for _, alg := range core.Algorithms() {
 				// Prefetching overlaps I/O with compute and reorders
-				// work; it must never move a digest, so every algorithm
-				// is pinned with it fully off and fully on.
+				// work; staggered injection delays when work exists at
+				// all. Neither may move a digest, so every algorithm is
+				// pinned across the full prefetch × injection cross.
 				for _, pf := range []prefetch.Policy{prefetch.Off, prefetch.Both} {
-					cfg := KeyMachineConfig(Key{Dataset: ds, Seeding: Sparse, Alg: alg,
-						Procs: procs, Unsteady: unsteady, Prefetch: pf}, sc)
-					cfg.CollectTraces = true
-					res, err := core.Run(prob, cfg)
-					if err != nil {
-						t.Fatalf("%s/%s/%s: %v", key, alg, pf, err)
-					}
-					digest := trace.CanonicalDigest(res.Streamlines)
-					variant := fmt.Sprintf("%s(prefetch %s)", alg, pf)
-					if ref == "" {
-						ref, refAlg = digest, variant
-					} else if digest != ref {
-						t.Errorf("%s: %s digest %s differs from %s digest %s — runs no longer bit-identical",
-							key, variant, digest[:16], refAlg, ref[:16])
+					for _, inj := range []Injection{InjectT0, InjectStagger} {
+						cfg := KeyMachineConfig(Key{Dataset: ds, Seeding: Sparse, Alg: alg,
+							Procs: procs, Unsteady: unsteady, Prefetch: pf, Injection: inj}, sc)
+						cfg.CollectTraces = true
+						res, err := core.Run(probs[inj], cfg)
+						if err != nil {
+							t.Fatalf("%s/%s/%s/inject=%s: %v", key, alg, pf, inj, err)
+						}
+						digest := trace.CanonicalDigest(res.Streamlines)
+						variant := fmt.Sprintf("%s(prefetch %s, inject %q)", alg, pf, inj)
+						if ref == "" {
+							ref, refAlg = digest, variant
+						} else if digest != ref {
+							t.Errorf("%s: %s digest %s differs from %s digest %s — runs no longer bit-identical",
+								key, variant, digest[:16], refAlg, ref[:16])
+						}
 					}
 				}
 			}

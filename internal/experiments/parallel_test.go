@@ -74,6 +74,60 @@ func TestParallelCampaignMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelInjectionCampaignMatchesSerial extends the worker-pool
+// equivalence guarantee across the Injection axis: a staggered-release
+// campaign (whose cells interleave release stalls with compute, I/O and
+// steal traffic) must produce bit-identical summaries whether its cells
+// run serially or concurrently, and its cells must genuinely exercise
+// the schedule (recorded release stalls somewhere in the sweep).
+func TestParallelInjectionCampaignMatchesSerial(t *testing.T) {
+	sc := tinyScale()
+	serial := NewCampaign(sc)
+	serial.Workers = 1
+	serial.Injection = InjectStagger
+	parallel := NewCampaign(sc)
+	parallel.Workers = 8
+	parallel.Injection = InjectStagger
+
+	serial.RunAll()
+	parallel.RunAll()
+
+	keys := serial.AllKeys()
+	sawStall := false
+	for _, k := range keys {
+		if !k.Injection.Enabled() {
+			t.Fatalf("%s: enumerated without the campaign injection", k.Label())
+		}
+		a, ok := serial.Cached(k)
+		if !ok {
+			t.Fatalf("%s: missing from serial results", k.Label())
+		}
+		b, ok := parallel.Cached(k)
+		if !ok {
+			t.Fatalf("%s: missing from parallel results", k.Label())
+		}
+		if a.Summary != b.Summary {
+			t.Errorf("%s: summaries differ\nserial:   %+v\nparallel: %+v", k.Label(), a.Summary, b.Summary)
+		}
+		aErr, bErr := "", ""
+		if a.Err != nil {
+			aErr = a.Err.Error()
+		}
+		if b.Err != nil {
+			bErr = b.Err.Error()
+		}
+		if aErr != bErr {
+			t.Errorf("%s: errors differ: serial %q, parallel %q", k.Label(), aErr, bErr)
+		}
+		if a.Err == nil && a.Summary.ReleaseStalls > 0 {
+			sawStall = true
+		}
+	}
+	if !sawStall {
+		t.Error("no cell recorded release stalls: the staggered schedule never starved a processor")
+	}
+}
+
 // TestParallelFigureRowsDeterministic asserts that the rendered figure
 // tables — row order included — are byte-identical between serial and
 // parallel execution.
@@ -108,11 +162,11 @@ func TestProblemMemoization(t *testing.T) {
 	}
 	// The memoized problem is shared: a second fetch returns the same
 	// backing seeds slice, not a rebuild.
-	p1, err := c.problem(Astro, Sparse, false)
+	p1, err := c.problem(Astro, Sparse, false, InjectT0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, _ := c.problem(Astro, Sparse, false)
+	p2, _ := c.problem(Astro, Sparse, false, InjectT0)
 	if len(p1.Seeds) == 0 || &p1.Seeds[0] != &p2.Seeds[0] {
 		t.Error("problem(Astro, Sparse) rebuilt instead of memoized")
 	}

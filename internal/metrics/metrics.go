@@ -50,6 +50,18 @@ type ProcStats struct {
 	PrefetchWasted int64
 	IOHiddenTime   float64
 
+	// Injection (staggered seed release, DESIGN.md §9) counters, zero
+	// when every seed releases at t0: the peak number of simultaneously
+	// active (released, unterminated) streamlines resident on this
+	// processor, how many times it ran completely dry of released work
+	// and had to park until the next scheduled release, and the virtual
+	// seconds it spent parked that way. Release stalls are workload
+	// starvation, not machine contention, so they are deliberately NOT
+	// part of busy time (the Imbalance metric).
+	ActivePeak       int64
+	ReleaseStalls    int64
+	ReleaseStallTime float64
+
 	// Pathline (unsteady-workload) counters, zero for steady runs:
 	// integration steps taken in time-dependent advection, and epoch
 	// boundaries crossed — each crossing is a block transition that
@@ -132,6 +144,13 @@ type Summary struct {
 	PrefetchWasted int64
 	IOHiddenTime   float64
 
+	// ActivePeak (max over processors), ReleaseStalls and
+	// ReleaseStallTime (sums) aggregate the staggered-injection counters
+	// (zero when all seeds release at t0).
+	ActivePeak       int64
+	ReleaseStalls    int64
+	ReleaseStallTime float64
+
 	// PathlineSteps/EpochCrossings aggregate the unsteady-workload
 	// counters (zero for steady runs).
 	PathlineSteps  int64
@@ -171,6 +190,11 @@ func (c *Collector) Aggregate() Summary {
 		s.IOHiddenTime += p.IOHiddenTime
 		s.PathlineSteps += p.PathlineSteps
 		s.EpochCrossings += p.EpochCrossings
+		s.ReleaseStalls += p.ReleaseStalls
+		s.ReleaseStallTime += p.ReleaseStallTime
+		if p.ActivePeak > s.ActivePeak {
+			s.ActivePeak = p.ActivePeak
+		}
 		if p.PeakMemoryBytes > s.PeakMemoryBytes {
 			s.PeakMemoryBytes = p.PeakMemoryBytes
 		}
@@ -214,7 +238,9 @@ func (s Summary) String() string {
 // compute), comm, efficiency, msgs, bytes, loads, purges, steps,
 // imbalance, steals (hits/attempts), tokens, prefetch (hits/issued),
 // pfwaste (prefetched blocks evicted unused), epochs (epoch crossings),
-// psteps (pathline steps).
+// psteps (pathline steps), apeak (peak simultaneously active released
+// streamlines on one processor), rstalls (release stalls), rstall-s
+// (virtual seconds parked awaiting scheduled releases).
 func Table(rows []TableRow, cols []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-28s", "run")
@@ -283,6 +309,12 @@ func (r TableRow) format(col string) string {
 		return fmt.Sprintf("%d", s.EpochCrossings)
 	case "psteps":
 		return fmt.Sprintf("%d", s.PathlineSteps)
+	case "apeak":
+		return fmt.Sprintf("%d", s.ActivePeak)
+	case "rstalls":
+		return fmt.Sprintf("%d", s.ReleaseStalls)
+	case "rstall-s":
+		return fmt.Sprintf("%.3f", s.ReleaseStallTime)
 	default:
 		return "?"
 	}

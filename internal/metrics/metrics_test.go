@@ -58,8 +58,19 @@ func TestAggregate(t *testing.T) {
 	c.P(1).PrefetchWasted = 2
 	c.P(0).IOHiddenTime = 0.125
 	c.P(2).IOHiddenTime = 0.375
+	c.P(0).ActivePeak = 12
+	c.P(1).ActivePeak = 30
+	c.P(0).ReleaseStalls = 2
+	c.P(2).ReleaseStalls = 3
+	c.P(1).ReleaseStallTime = 0.75
 
 	s := c.Aggregate()
+	if s.ActivePeak != 30 {
+		t.Errorf("ActivePeak = %d, want the per-processor max 30", s.ActivePeak)
+	}
+	if s.ReleaseStalls != 5 || s.ReleaseStallTime != 0.75 {
+		t.Errorf("release stalls = %d/%g, want 5/0.75", s.ReleaseStalls, s.ReleaseStallTime)
+	}
 	if s.WallClock != 15 {
 		t.Errorf("WallClock = %g", s.WallClock)
 	}
@@ -191,7 +202,7 @@ func TestTableRendering(t *testing.T) {
 func TestTableAllColumns(t *testing.T) {
 	c := NewCollector(1)
 	c.P(0).EndTime = 1
-	cols := []string{"wall", "io", "ioq", "hidden", "comm", "compute", "efficiency", "msgs", "bytes", "loads", "purges", "steps", "imbalance", "steals", "tokens", "prefetch", "pfwaste", "epochs", "psteps"}
+	cols := []string{"wall", "io", "ioq", "hidden", "comm", "compute", "efficiency", "msgs", "bytes", "loads", "purges", "steps", "imbalance", "steals", "tokens", "prefetch", "pfwaste", "epochs", "psteps", "apeak", "rstalls", "rstall-s"}
 	out := Table([]TableRow{{Label: "x", Summary: c.Aggregate()}}, cols)
 	if strings.Contains(out, "?") {
 		t.Errorf("a known column rendered as unknown:\n%s", out)

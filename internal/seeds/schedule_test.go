@@ -1,0 +1,177 @@
+package seeds
+
+import (
+	"math"
+	"testing"
+)
+
+// scheduleCases enumerates one instance of every schedule family over a
+// shared window, for table-driven invariant checks.
+func scheduleCases(t0, t1 float64) []Schedule {
+	return []Schedule{
+		AllAtT0(t0),
+		UniformStagger(t0, t1),
+		BurstWaves(t0, t1, 1),
+		BurstWaves(t0, t1, 4),
+		BurstWaves(t0, t1, 7),
+		RateLimit(t0, t1, 3.5),
+		RateLimit(t0, t1, 1e9),
+	}
+}
+
+// TestScheduleInvariants checks every schedule family against the
+// Schedule contract at several seed counts, including the empty and
+// single-seed edges.
+func TestScheduleInvariants(t *testing.T) {
+	for _, sched := range scheduleCases(0, 2.5) {
+		for _, n := range []int{0, 1, 2, 3, 10, 101} {
+			times := sched.Times(n)
+			lo, hi := sched.Window()
+			if err := ValidateTimes(times, n, lo, hi); err != nil {
+				t.Errorf("%s n=%d: %v", sched.Name(), n, err)
+			}
+		}
+	}
+}
+
+// TestScheduleDeterminism checks bit-identical replays: the same
+// (schedule parameters, seed count) must yield the same times, call
+// after call — the property the campaign memoization and golden digests
+// lean on.
+func TestScheduleDeterminism(t *testing.T) {
+	for _, sched := range scheduleCases(0.5, 4) {
+		a := sched.Times(257)
+		b := sched.Times(257)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: times differ at %d: %v vs %v", sched.Name(), i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestScheduleNames pins the table/log labels of every family.
+func TestScheduleNames(t *testing.T) {
+	cases := map[string]Schedule{
+		"t0":      AllAtT0(0),
+		"stagger": UniformStagger(0, 1),
+		"burst4":  BurstWaves(0, 1, 4),
+		"rate":    RateLimit(0, 1, 2),
+	}
+	for want, sched := range cases {
+		if got := sched.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestAllAtT0 pins the degenerate schedule: every time is exactly t0.
+func TestAllAtT0(t *testing.T) {
+	for _, tm := range AllAtT0(1.25).Times(9) {
+		if tm != 1.25 {
+			t.Fatalf("AllAtT0 released at %g", tm)
+		}
+	}
+}
+
+// TestUniformStaggerSpansWindow checks the first seed releases at t0,
+// the last exactly at t1, and spacing is even.
+func TestUniformStaggerSpansWindow(t *testing.T) {
+	times := UniformStagger(1, 3).Times(5)
+	want := []float64{1, 1.5, 2, 2.5, 3}
+	for i := range want {
+		if math.Abs(times[i]-want[i]) > 1e-12 {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+	if one := UniformStagger(1, 3).Times(1); one[0] != 1 {
+		t.Errorf("single seed released at %g, want t0", one[0])
+	}
+}
+
+// TestBurstWavesConservation checks the exact per-wave split: wave
+// counts sum to n, differ by at most one, and wave times sit one period
+// apart starting at t0.
+func TestBurstWavesConservation(t *testing.T) {
+	const n, waves = 23, 4
+	times := BurstWaves(0, 8, waves).Times(n)
+	counts := map[float64]int{}
+	for _, tm := range times {
+		counts[tm]++
+	}
+	if len(counts) != waves {
+		t.Fatalf("distinct wave times = %d, want %d", len(counts), waves)
+	}
+	total := 0
+	for w := 0; w < waves; w++ {
+		c := counts[float64(w)*2] // period = 8/4
+		if c != 5 && c != 6 {
+			t.Errorf("wave %d has %d seeds, want 5 or 6", w, c)
+		}
+		total += c
+	}
+	if total != n {
+		t.Errorf("waves hold %d seeds, want %d (conservation)", total, n)
+	}
+	// Degenerate wave counts normalize rather than panic.
+	if got := BurstWaves(0, 8, 0).Times(3); got[2] != 0 {
+		t.Errorf("waves=0 not normalized to one t0 burst: %v", got)
+	}
+	// More waves than seeds: early waves carry one seed each.
+	sparse := BurstWaves(0, 8, 8).Times(3)
+	if sparse[0] != 0 || sparse[1] != 1 || sparse[2] != 2 {
+		t.Errorf("3 seeds over 8 waves = %v, want one per leading wave", sparse)
+	}
+}
+
+// TestRateLimitClamps checks the fixed-rate release and the clamp into
+// the window.
+func TestRateLimitClamps(t *testing.T) {
+	times := RateLimit(0, 2, 2).Times(8)
+	for i, want := range []float64{0, 0.5, 1, 1.5, 2, 2, 2, 2} {
+		if times[i] != want {
+			t.Fatalf("times = %v, want clamp at 2 after seed 4", times)
+		}
+	}
+	// Non-positive and non-finite rates degrade to all-at-t0.
+	for _, rate := range []float64{0, -3, math.Inf(1), math.NaN()} {
+		for _, tm := range RateLimit(1, 5, rate).Times(4) {
+			if tm != 1 {
+				t.Fatalf("rate %g released at %g, want t0", rate, tm)
+			}
+		}
+	}
+}
+
+// TestScheduleDegenerateWindow checks that an inverted window collapses
+// to the instant t0 instead of producing out-of-range times.
+func TestScheduleDegenerateWindow(t *testing.T) {
+	for _, sched := range []Schedule{
+		UniformStagger(2, 1), BurstWaves(2, 1, 3), RateLimit(2, 1, 5),
+	} {
+		lo, hi := sched.Window()
+		if lo != 2 || hi != 2 {
+			t.Errorf("%s: window = [%g, %g], want collapsed to [2, 2]", sched.Name(), lo, hi)
+		}
+		if err := ValidateTimes(sched.Times(6), 6, lo, hi); err != nil {
+			t.Errorf("%s: %v", sched.Name(), err)
+		}
+	}
+}
+
+// TestValidateTimesRejects covers the checker's own failure modes, which
+// the fuzz harnesses rely on to detect invariant breaks.
+func TestValidateTimesRejects(t *testing.T) {
+	if err := ValidateTimes([]float64{0, 1}, 3, 0, 2); err == nil {
+		t.Error("count mismatch accepted")
+	}
+	if err := ValidateTimes([]float64{0, 3}, 2, 0, 2); err == nil {
+		t.Error("out-of-window time accepted")
+	}
+	if err := ValidateTimes([]float64{1, 0.5}, 2, 0, 2); err == nil {
+		t.Error("non-monotone times accepted")
+	}
+	if err := ValidateTimes([]float64{0, math.NaN()}, 2, 0, 2); err == nil {
+		t.Error("NaN accepted")
+	}
+}

@@ -220,6 +220,47 @@ func (p *Proc) Recv() any {
 	return msg
 }
 
+// RecvUntil blocks until a message is available or the virtual clock
+// reaches deadline, whichever comes first. It returns the oldest message
+// and true, or (nil, false) on timeout. A deadline at or before the
+// current time polls: it returns a pending message if one exists and
+// times out otherwise. Time spent blocked is recorded as idle time
+// either way.
+//
+// The wake token machinery guarantees the two wake sources cannot race:
+// a delivery consumes the block first and leaves the deadline timer a
+// stale no-op; a timer that fires first clears the waiting flag so a
+// later delivery simply enqueues. When a delivery and the deadline land
+// on the same virtual instant, event order (delivery scheduled first)
+// decides deterministically.
+func (p *Proc) RecvUntil(deadline float64) (any, bool) {
+	if len(p.inbox) > 0 {
+		msg := p.inbox[0]
+		p.inbox = p.inbox[1:]
+		return msg, true
+	}
+	if deadline <= p.k.now {
+		return nil, false
+	}
+	p.waiting = true
+	p.idleStart = p.k.now
+	seq := p.beginBlock()
+	p.k.At(deadline, func() {
+		if p.waiting && p.wakeSeq == seq {
+			p.waiting = false
+			p.idleTotal += p.k.now - p.idleStart
+			p.k.wake(p, seq)
+		}
+	})
+	p.yield()
+	if len(p.inbox) == 0 {
+		return nil, false
+	}
+	msg := p.inbox[0]
+	p.inbox = p.inbox[1:]
+	return msg, true
+}
+
 // TryRecv returns the oldest pending message without blocking.
 func (p *Proc) TryRecv() (any, bool) {
 	if len(p.inbox) == 0 {

@@ -59,7 +59,9 @@ func (s Status) Terminated() bool { return s != Active }
 const PointBytes = 48
 
 // StateBytes is the simulated size of the solver state alone: id,
-// position, time, step size, status, block (the paper §8's compact form).
+// position, time, step size, status, block (the paper §8's compact
+// form). The release time of a staggered-injection seed rides in the
+// same fixed-size record.
 const StateBytes = 64
 
 // Streamline is one integral curve in flight.
@@ -76,18 +78,33 @@ type Streamline struct {
 	Status Status
 	Block  grid.BlockID // block containing P (NoBlock when terminated out of bounds)
 
+	// Release is the virtual machine time at which this seed is injected
+	// into the computation (seeds.Schedule, DESIGN.md §9). Zero — the
+	// paper's fixed population — means available from the start. Release
+	// is a scheduling quantity only: it gates when algorithms may advance
+	// the streamline, never the integration time T or the geometry.
+	Release float64
+
 	// Points is the accumulated geometry, starting with the seed.
 	Points []vec.V3
 }
 
-// New creates an active streamline at seed, located in block.
+// New creates an active streamline at seed, located in block, released
+// at virtual time zero.
 func New(id int, seed vec.V3, block grid.BlockID) *Streamline {
+	return NewAt(id, seed, block, 0)
+}
+
+// NewAt creates an active streamline at seed, located in block, that an
+// injection schedule releases at virtual machine time release.
+func NewAt(id int, seed vec.V3, block grid.BlockID, release float64) *Streamline {
 	return &Streamline{
-		ID:     id,
-		Seed:   seed,
-		P:      seed,
-		Block:  block,
-		Points: []vec.V3{seed},
+		ID:      id,
+		Seed:    seed,
+		P:       seed,
+		Block:   block,
+		Release: release,
+		Points:  []vec.V3{seed},
 	}
 }
 
@@ -161,6 +178,7 @@ func (s *Streamline) Marshal() []byte {
 	put(s.Seed.Z)
 	put(s.T)
 	put(s.H)
+	put(s.Release)
 	putInt(int64(s.Steps))
 	putInt(int64(s.Status))
 	putInt(int64(s.Block))
@@ -176,7 +194,7 @@ func (s *Streamline) Marshal() []byte {
 // Unmarshal decodes a streamline encoded by Marshal.
 func Unmarshal(data []byte) (*Streamline, error) {
 	const word = 8
-	need := 10 * word
+	need := 11 * word
 	if len(data) < need {
 		return nil, fmt.Errorf("trace: short buffer (%d bytes)", len(data))
 	}
@@ -192,6 +210,7 @@ func Unmarshal(data []byte) (*Streamline, error) {
 	s.Seed = vec.Of(getF(), getF(), getF())
 	s.T = getF()
 	s.H = getF()
+	s.Release = getF()
 	s.Steps = int(int64(getU()))
 	s.Status = Status(int64(getU()))
 	s.Block = grid.BlockID(int64(getU()))

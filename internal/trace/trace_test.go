@@ -129,7 +129,8 @@ func TestMarshalRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.ID != s.ID || got.Seed != s.Seed || got.T != s.T || got.H != s.H ||
-		got.Steps != s.Steps || got.Status != s.Status || got.Block != s.Block {
+		got.Release != s.Release || got.Steps != s.Steps ||
+		got.Status != s.Status || got.Block != s.Block {
 		t.Errorf("state mismatch: %+v vs %+v", got, s)
 	}
 	if len(got.Points) != len(s.Points) {
@@ -155,7 +156,7 @@ func TestUnmarshalErrors(t *testing.T) {
 	// Corrupt point count: claims many points but buffer ends.
 	s := New(1, vec.Of(0, 0, 0), 0)
 	data := s.Marshal()
-	data[9*8] = 0xFF // inflate point count
+	data[10*8] = 0xFF // inflate point count
 	if _, err := Unmarshal(data); err == nil {
 		t.Error("corrupt point count accepted")
 	}
@@ -173,12 +174,14 @@ func TestPropMarshalRoundTripRandom(t *testing.T) {
 		s.Append(pts)
 		s.T = rng.Float64()
 		s.H = rng.Float64()
+		s.Release = rng.Float64() * 10
 		s.Status = Status(rng.Intn(5))
 		got, err := Unmarshal(s.Marshal())
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got.String() != s.String() || got.P != s.P || len(got.Points) != len(s.Points) {
+		if got.String() != s.String() || got.P != s.P || len(got.Points) != len(s.Points) ||
+			got.Release != s.Release {
 			t.Fatalf("round trip mismatch at case %d", i)
 		}
 	}
