@@ -14,6 +14,7 @@
 //	slbench -figure 5             # just Figure 5
 //	slbench -scale paper          # full paper-sized configuration (slow)
 //	slbench -dataset fusion -csv  # fusion figures as CSV
+//	slbench -json                 # one JSON report (the BENCH_*.json schema)
 //	slbench -shapes               # also check the paper's qualitative claims
 //	slbench -j 1                  # serial execution (same tables, slower)
 //	slbench -unsteady             # the same sweeps as pathline campaigns
@@ -25,12 +26,15 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -49,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		figureID  = fs.Int("figure", 0, "run a single figure (5-16); 0 means all")
 		dataset   = fs.String("dataset", "", "restrict to one dataset: astro, fusion, thermal")
 		csv       = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut   = fs.Bool("json", false, "emit one machine-readable JSON report instead of tables (the BENCH_*.json schema)")
 		verbose   = fs.Bool("v", false, "log every run as it completes")
 		shapes    = fs.Bool("shapes", false, "verify the paper's qualitative claims and report")
 		jobs      = fs.Int("j", 0, "sweep cells to run concurrently; 0 means one per CPU core")
@@ -66,6 +71,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *csv && *jsonOut {
+		fmt.Fprintln(stderr, "slbench: -csv and -json are mutually exclusive")
+		return 2
+	}
 	sc, ok := experiments.ScaleByName(*scaleName)
 	if !ok {
 		fmt.Fprintf(stderr, "slbench: unknown scale %q\n", *scaleName)
@@ -167,40 +176,146 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// processor count; fold those cells into the same batch.
 		keys = append(keys, experiments.ShapeKeys(c)...)
 	}
+	started := time.Now()
 	c.RunKeys(keys)
+	elapsed := time.Since(started)
 
-	for _, fig := range selected {
-		if *csv {
-			rows := c.FigureRows(fig)
-			fmt.Fprintf(stdout, "# Figure %d — %s\n%s\n", fig.ID, fig.Title,
-				metrics.CSV(rows, c.FigureColumns(fig)))
-		} else {
-			fmt.Fprintln(stdout, c.FigureTable(fig))
+	var report []experiments.ShapeResult
+	if *shapes {
+		report = experiments.CheckShapes(c)
+	}
+
+	if *jsonOut {
+		if err := writeJSONReport(stdout, c, sc.Name, selected, report, elapsed); err != nil {
+			fmt.Fprintf(stderr, "slbench: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, fig := range selected {
+			if *csv {
+				rows := c.FigureRows(fig)
+				fmt.Fprintf(stdout, "# Figure %d — %s\n%s\n", fig.ID, fig.Title,
+					metrics.CSV(rows, c.FigureColumns(fig)))
+			} else {
+				fmt.Fprintln(stdout, c.FigureTable(fig))
+			}
 		}
 	}
 
 	if *shapes {
-		report := experiments.CheckShapes(c)
-		fmt.Fprintln(stdout, "Qualitative shape checks (paper Section 5):")
 		failed := 0
 		for _, r := range report {
-			status := "PASS"
 			if !r.OK {
-				status = "FAIL"
 				failed++
 			}
-			fmt.Fprintf(stdout, "  [%s] %s\n", status, r.Claim)
-			if r.Detail != "" {
-				fmt.Fprintf(stdout, "         %s\n", r.Detail)
+		}
+		if !*jsonOut {
+			fmt.Fprintln(stdout, "Qualitative shape checks (paper Section 5):")
+			for _, r := range report {
+				status := "PASS"
+				if !r.OK {
+					status = "FAIL"
+				}
+				fmt.Fprintf(stdout, "  [%s] %s\n", status, r.Claim)
+				if r.Detail != "" {
+					fmt.Fprintf(stdout, "         %s\n", r.Detail)
+				}
+			}
+			if failed > 0 {
+				fmt.Fprintf(stdout, "%d/%d checks failed\n", failed, len(report))
+				if !strings.Contains(sc.Name, "paper") {
+					fmt.Fprintln(stdout, "(some claims only manifest at larger scales; try -scale paper)")
+				}
 			}
 		}
 		if failed > 0 {
-			fmt.Fprintf(stdout, "%d/%d checks failed\n", failed, len(report))
-			if !strings.Contains(sc.Name, "paper") {
-				fmt.Fprintln(stdout, "(some claims only manifest at larger scales; try -scale paper)")
-			}
 			return 1
 		}
 	}
 	return 0
+}
+
+// benchSchema versions the -json report layout; bump on breaking shape
+// changes so downstream consumers (BENCH_*.json checks) can discriminate.
+const benchSchema = "slbench/v1"
+
+// jsonReport is the machine-readable campaign result the -json flag
+// emits. Simulated metrics are deterministic for a given scale; only
+// the host block varies between runs.
+type jsonReport struct {
+	Schema  string       `json:"schema"`
+	Scale   string       `json:"scale"`
+	Figures []jsonFigure `json:"figures"`
+	Shapes  []jsonShape  `json:"shape_checks,omitempty"`
+	Host    jsonHost     `json:"host"`
+}
+
+// jsonFigure is one paper figure's sweep: the rendered columns and one
+// row per campaign cell.
+type jsonFigure struct {
+	ID      int       `json:"id"`
+	Title   string    `json:"title"`
+	Columns []string  `json:"columns"`
+	Rows    []jsonRow `json:"rows"`
+}
+
+// jsonRow is one campaign cell: its label plus either the full metrics
+// summary or the error that aborted the run.
+type jsonRow struct {
+	Label   string           `json:"label"`
+	Error   string           `json:"error,omitempty"`
+	Summary *metrics.Summary `json:"summary,omitempty"`
+}
+
+// jsonShape is one qualitative claim check (-shapes).
+type jsonShape struct {
+	Claim  string `json:"claim"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// jsonHost records where and how long the campaign ran — the only
+// nondeterministic part of the report.
+type jsonHost struct {
+	GoOS           string  `json:"goos"`
+	GoArch         string  `json:"goarch"`
+	GoVersion      string  `json:"go_version"`
+	CPUs           int     `json:"cpus"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// writeJSONReport marshals the campaign's selected figures (and shape
+// checks, when run) as one indented JSON document.
+func writeJSONReport(w io.Writer, c *experiments.Campaign, scale string, figs []experiments.Figure, shapes []experiments.ShapeResult, elapsed time.Duration) error {
+	rep := jsonReport{
+		Schema: benchSchema,
+		Scale:  scale,
+		Host: jsonHost{
+			GoOS:           runtime.GOOS,
+			GoArch:         runtime.GOARCH,
+			GoVersion:      runtime.Version(),
+			CPUs:           runtime.NumCPU(),
+			ElapsedSeconds: elapsed.Seconds(),
+		},
+	}
+	for _, fig := range figs {
+		jf := jsonFigure{ID: fig.ID, Title: fig.Title, Columns: c.FigureColumns(fig)}
+		for _, row := range c.FigureRows(fig) {
+			jr := jsonRow{Label: row.Label}
+			if row.Err != nil {
+				jr.Error = row.Err.Error()
+			} else {
+				s := row.Summary
+				jr.Summary = &s
+			}
+			jf.Rows = append(jf.Rows, jr)
+		}
+		rep.Figures = append(rep.Figures, jf)
+	}
+	for _, r := range shapes {
+		rep.Shapes = append(rep.Shapes, jsonShape{Claim: r.Claim, OK: r.OK, Detail: r.Detail})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -11,6 +14,7 @@ func TestRunBadFlags(t *testing.T) {
 		{"-scale", "bogus"},
 		{"-figure", "99"},
 		{"-nosuchflag"},
+		{"-csv", "-json"},
 	}
 	for _, args := range cases {
 		var out, errw bytes.Buffer
@@ -90,6 +94,75 @@ func TestRunUnsteadyFigure(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "u:astro/sparse/ondemand/8") {
 		t.Errorf("unsteady figure table missing pathline rows:\n%s", out.String())
+	}
+}
+
+// TestRunJSONOutput exercises the -json emitter on one small figure and
+// validates the report's shape.
+func TestRunJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-scale", "small", "-figure", "5", "-json", "-j", "4"}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Schema != benchSchema || rep.Scale != "small" {
+		t.Errorf("header = %q/%q", rep.Schema, rep.Scale)
+	}
+	if len(rep.Figures) != 1 || rep.Figures[0].ID != 5 {
+		t.Fatalf("figures = %+v, want just Figure 5", rep.Figures)
+	}
+	if len(rep.Figures[0].Rows) == 0 {
+		t.Fatal("figure has no rows")
+	}
+	for _, row := range rep.Figures[0].Rows {
+		if (row.Summary == nil) == (row.Error == "") {
+			t.Errorf("row %q must carry exactly one of summary or error", row.Label)
+		}
+		if row.Summary != nil && row.Summary.WallClock <= 0 {
+			t.Errorf("row %q has non-positive wall clock", row.Label)
+		}
+	}
+	if rep.Host.ElapsedSeconds <= 0 || rep.Host.GoVersion == "" {
+		t.Errorf("host block incomplete: %+v", rep.Host)
+	}
+}
+
+// TestBenchArtifact validates the checked-in BENCH_006.json: the
+// default-scale campaign snapshot must parse under the current schema
+// and cover every figure.
+func TestBenchArtifact(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_006.json"))
+	if err != nil {
+		t.Fatalf("reading BENCH_006.json: %v", err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_006.json is not valid JSON: %v", err)
+	}
+	if rep.Schema != benchSchema {
+		t.Errorf("schema = %q, want %q (regenerate with: go run ./cmd/slbench -json > BENCH_006.json)", rep.Schema, benchSchema)
+	}
+	if rep.Scale != "default" {
+		t.Errorf("scale = %q, want the default-scale campaign", rep.Scale)
+	}
+	if len(rep.Figures) != 12 {
+		t.Errorf("figures = %d, want 12 (Figures 5-16)", len(rep.Figures))
+	}
+	for _, f := range rep.Figures {
+		if len(f.Rows) == 0 {
+			t.Errorf("figure %d has no rows", f.ID)
+		}
+		for _, row := range f.Rows {
+			if (row.Summary == nil) == (row.Error == "") {
+				t.Errorf("figure %d row %q must carry exactly one of summary or error", f.ID, row.Label)
+			}
+		}
 	}
 }
 

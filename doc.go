@@ -17,15 +17,21 @@
 // makes streak-line-style continuous injection a first-class workload:
 // seeds released over time reshape load balance and I/O burstiness while
 // every particle's geometry stays pinned by the same golden digests.
+// The determinism contract itself is proved at compile time by slvet
+// (cmd/slvet, internal/invlint), a go/analysis-style linter that runs
+// under go vet -vettool and flags wall-clock reads, global rand,
+// order-sensitive map iteration, host-time blocking in simulated code,
+// half-wired experiment axes and invisible metrics counters.
 //
 // See README.md for a tour and DESIGN.md for the system inventory,
 // substitutions, design-choice notes, the work-stealing scheme
 // (DESIGN.md §6), the unsteady substrate (§7), the async-prefetch
-// subsystem (§8) and the injection-schedule subsystem (§9). The entry
-// points are:
+// subsystem (§8), the injection-schedule subsystem (§9) and the
+// invariant linter (§10). The entry points are:
 //
 //   - internal/core: the four algorithms (core.Run)
 //   - internal/experiments: datasets, machine model, figure harness
-//   - cmd/slbench, cmd/slrun, cmd/slviz: command-line tools
+//   - internal/invlint: the slvet analyzer suite
+//   - cmd/slbench, cmd/slrun, cmd/slviz, cmd/slvet: command-line tools
 //   - examples/: runnable walkthroughs (see examples/README.md)
 package repro

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"unicode"
 )
 
 // Finding is one documentation violation.
@@ -29,13 +30,17 @@ func (f Finding) String() string { return f.Pos + ": " + f.What }
 // CheckDir parses every non-test .go file under root (recursively) and
 // returns a finding for each exported package, type, function, method,
 // constant or variable that lacks a doc comment. Grouped const/var
-// declarations are satisfied by a single comment on the group.
+// declarations are satisfied by a single comment on the group. testdata
+// trees are skipped: analyzer corpora are fixtures, not API.
 func CheckDir(root string) ([]Finding, error) {
 	var findings []Finding
 	fset := token.NewFileSet()
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
+		}
+		if d.IsDir() && d.Name() == "testdata" {
+			return filepath.SkipDir
 		}
 		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
 			return nil
@@ -140,6 +145,9 @@ func CheckPackageComments(root string) ([]Finding, error) {
 		if err != nil {
 			return err
 		}
+		if d.IsDir() && d.Name() == "testdata" {
+			return filepath.SkipDir
+		}
 		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
 			return nil
 		}
@@ -178,11 +186,26 @@ func CheckPackageComments(root string) ([]Finding, error) {
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
 // CheckMarkdownLinks scans the given markdown files for relative links
-// whose targets do not exist on disk. External (scheme-prefixed) and
-// intra-document (#fragment) links are skipped: the checker guards the
+// whose targets do not exist on disk, and validates #fragment anchors —
+// both intra-document (#section) and cross-file (other.md#section) —
+// against the target's headings using GitHub's slugification. External
+// (scheme-prefixed) links are skipped: the checker guards the
 // repository's own cross-references, not the internet.
 func CheckMarkdownLinks(files ...string) ([]Finding, error) {
 	var findings []Finding
+	anchors := map[string]map[string]bool{} // markdown path -> anchor set
+	anchorsOf := func(path string) (map[string]bool, error) {
+		if a, ok := anchors[path]; ok {
+			return a, nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		a := headingAnchors(string(data))
+		anchors[path] = a
+		return a, nil
+	}
 	for _, f := range files {
 		data, err := os.ReadFile(f)
 		if err != nil {
@@ -191,24 +214,88 @@ func CheckMarkdownLinks(files ...string) ([]Finding, error) {
 		for i, line := range strings.Split(string(data), "\n") {
 			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
 				target := m[1]
-				if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 					continue
 				}
+				fragment := ""
 				if h := strings.IndexByte(target, '#'); h >= 0 {
-					target = target[:h]
+					target, fragment = target[:h], target[h+1:]
 				}
-				if target == "" {
+				resolved := f // intra-document fragment
+				if target != "" {
+					resolved = filepath.Join(filepath.Dir(f), target)
+					if _, err := os.Stat(resolved); err != nil {
+						findings = append(findings, Finding{
+							Pos:  fmt.Sprintf("%s:%d", f, i+1),
+							What: fmt.Sprintf("broken link %q (resolved %s)", m[1], resolved),
+						})
+						continue
+					}
+				}
+				if fragment == "" || !strings.HasSuffix(resolved, ".md") {
 					continue
 				}
-				resolved := filepath.Join(filepath.Dir(f), target)
-				if _, err := os.Stat(resolved); err != nil {
+				a, err := anchorsOf(resolved)
+				if err != nil {
+					return nil, err
+				}
+				if !a[strings.ToLower(fragment)] {
 					findings = append(findings, Finding{
 						Pos:  fmt.Sprintf("%s:%d", f, i+1),
-						What: fmt.Sprintf("broken link %q (resolved %s)", m[1], resolved),
+						What: fmt.Sprintf("broken anchor %q: no heading in %s slugs to #%s", m[1], resolved, fragment),
 					})
 				}
 			}
 		}
 	}
 	return findings, nil
+}
+
+// heading matches ATX markdown headings (outside code fences).
+var heading = regexp.MustCompile(`^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// headingAnchors extracts the GitHub anchor ids of a markdown document:
+// one slug per heading, with -1, -2, ... suffixes on duplicates.
+// Headings inside ``` code fences are ignored.
+func headingAnchors(doc string) map[string]bool {
+	a := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := heading.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if n := seen[slug]; n > 0 {
+			a[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			a[slug] = true
+		}
+		seen[slug]++
+	}
+	return a
+}
+
+// slugify converts a heading to its GitHub anchor id: lowercase, spaces
+// become hyphens, and everything but letters, digits, hyphens and
+// underscores is dropped.
+func slugify(h string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }

@@ -119,7 +119,7 @@ const (
 func TestLinkCheckerCatchesBrokenLinks(t *testing.T) {
 	dir := t.TempDir()
 	md := filepath.Join(dir, "doc.md")
-	content := "[ok](doc.md) [gone](missing.md) [web](https://example.com) [frag](#sec)\n"
+	content := "# My Sec\n\n[ok](doc.md) [gone](missing.md) [web](https://example.com) [frag](#my-sec)\n"
 	if err := os.WriteFile(md, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -129,5 +129,82 @@ func TestLinkCheckerCatchesBrokenLinks(t *testing.T) {
 	}
 	if len(findings) != 1 {
 		t.Fatalf("findings = %d, want 1 (missing.md): %v", len(findings), findings)
+	}
+}
+
+// TestAnchorValidation proves fragment links are checked against real
+// headings, intra-document and across files.
+func TestAnchorValidation(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "target.md")
+	targetContent := "# Guide\n\n## §3 Known Limits\n\n## Dup\n\n## Dup\n\n```sh\n# not a heading\n```\n"
+	if err := os.WriteFile(target, []byte(targetContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := filepath.Join(dir, "doc.md")
+	content := "# Top\n\n" +
+		"[good](#top) [bad](#nope)\n" +
+		"[xgood](target.md#3-known-limits) [xbad](target.md#missing)\n" +
+		"[dup1](target.md#dup) [dup2](target.md#dup-1) [dup3](target.md#dup-2)\n" +
+		"[fenced](target.md#not-a-heading)\n"
+	if err := os.WriteFile(md, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := CheckMarkdownLinks(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: #nope, target.md#missing, target.md#dup-2 (only two Dup
+	// headings exist), target.md#not-a-heading (inside a code fence).
+	if len(findings) != 4 {
+		t.Fatalf("findings = %d, want 4: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		t.Log(f)
+	}
+}
+
+// TestSlugify pins the GitHub anchor algorithm on the shapes the repo's
+// own headings use.
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Quick start":            "quick-start",
+		"§10 Invariants as lint": "10-invariants-as-lint",
+		"I/O model":              "io-model",
+		"`slvet` tooling":        "slvet-tooling",
+		"Already-lower_case":     "already-lower_case",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestCheckDirSkipsTestdata proves analyzer corpora are not held to the
+// godoc contract.
+func TestCheckDirSkipsTestdata(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "testdata", "src", "p")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package p\n\nfunc Undocumented() {}\n"
+	if err := os.WriteFile(filepath.Join(sub, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("testdata not skipped by CheckDir: %v", findings)
+	}
+	pkgFindings, err := CheckPackageComments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgFindings) != 0 {
+		t.Errorf("testdata not skipped by CheckPackageComments: %v", pkgFindings)
 	}
 }

@@ -1,0 +1,339 @@
+// Package invlint is a suite of static analyzers that prove the
+// repository's determinism contract at build time. Every result this
+// reproduction reports — the figure tables, the §6–§9 shape checks, the
+// golden SHA-256 geometry digests, the experiments.Key result cache —
+// rests on one invariant: a run is a pure function of its inputs, so two
+// executions of the same Key are bit-identical. The golden tests enforce
+// that contract dynamically, after a violation has already landed; the
+// analyzers in this package reject the violating code before it ever
+// runs (DESIGN.md §10):
+//
+//   - detlint: the deterministic packages must not read wall-clock time,
+//     use the global math/rand source, or let map iteration order leak
+//     into slices, channels, rendered output or digests.
+//   - simtime: code reachable from a sim.Proc body may block only on
+//     virtual-time primitives, never OS time, goroutines or bare
+//     channel operations.
+//   - keyaxis: every axis of experiments.Key must be rendered by Label,
+//     enumerated by DatasetKeys and consumed by the execution path, and
+//     cmd wiring must set every axis explicitly.
+//   - metriccol: every exported counter in the metrics package must be
+//     aggregated, rendered as a table column, and touched by a test.
+//
+// The analyzers mirror the golang.org/x/tools/go/analysis shape
+// (Analyzer, Pass, diagnostics with positions) but are built entirely on
+// the standard library's go/ast, go/types and go/importer, because this
+// module deliberately has no external dependencies. cmd/slvet drives
+// them either standalone (slvet ./...) or as a go vet -vettool.
+//
+// Intentional exceptions are annotated in the source as
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on (or immediately above) the offending line. The reason is mandatory
+// — an unexplained exception is itself reported — and a stale annotation
+// that no longer suppresses anything is reported too, so the exception
+// list can only shrink.
+package invlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker, mirroring the x/tools go/analysis
+// Analyzer shape on the standard library.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and lint:allow
+	// annotations.
+	Name string
+	// Doc is a one-paragraph description of the invariant proved.
+	Doc string
+	// Run reports the analyzer's findings on one package via
+	// Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the checker this pass runs.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files.
+	Fset *token.FileSet
+	// Files are the parsed source files of the package, including any
+	// in-package test files when the unit was built with them.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	// Analyzer names the checker that produced the finding.
+	Analyzer string
+	// Pos locates the finding in the source.
+	Pos token.Position
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the diagnostic the way vet prints findings.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Analyzers returns the full invariant suite in presentation order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetLint, SimTime, KeyAxis, MetricCol}
+}
+
+// AnalyzerByName resolves one analyzer of the suite.
+func AnalyzerByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Unit is one loadable compilation unit: a parsed, type-checked package
+// ready to be analyzed.
+type Unit struct {
+	// Fset maps token positions of Files.
+	Fset *token.FileSet
+	// Files are the unit's parsed source files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds type-checking results for Files.
+	Info *types.Info
+}
+
+// allowMark is one parsed //lint:allow annotation.
+type allowMark struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+	bad      string // non-empty when the annotation is malformed
+}
+
+// allowPrefix introduces an intentional-exception annotation.
+const allowPrefix = "//lint:allow"
+
+// parseAllows scans a file's comments for lint:allow annotations. The
+// accepted form is "//lint:allow <analyzer> <reason>"; a missing
+// analyzer name, an unknown analyzer name or an empty reason marks the
+// annotation malformed so it can be reported rather than silently
+// ignored.
+func parseAllows(fset *token.FileSet, file *ast.File, known map[string]bool) []*allowMark {
+	var marks []*allowMark
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, allowPrefix)
+			m := &allowMark{pos: fset.Position(c.Pos())}
+			if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+				// e.g. //lint:allowed — not ours.
+				continue
+			}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				m.bad = "missing analyzer name"
+			case !known[fields[0]]:
+				m.bad = fmt.Sprintf("unknown analyzer %q", fields[0])
+			case len(fields) == 1:
+				m.analyzer = fields[0]
+				m.bad = "missing reason (the exception must say why)"
+			default:
+				m.analyzer = fields[0]
+				m.reason = strings.Join(fields[1:], " ")
+			}
+			marks = append(marks, m)
+		}
+	}
+	return marks
+}
+
+// RunUnit applies analyzers to a unit and returns the surviving
+// diagnostics: findings annotated with a well-formed lint:allow on the
+// same or the preceding line are suppressed; malformed annotations and
+// annotations that suppressed nothing are reported as findings of their
+// own, so the exception mechanism stays narrow and auditable.
+func RunUnit(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     u.Fset,
+			Files:    u.Files,
+			Pkg:      u.Pkg,
+			Info:     u.Info,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("invlint: %s: %w", a.Name, err)
+		}
+	}
+
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	// Allow marks index: file -> line -> marks. A mark on line L covers
+	// findings on L (trailing comment) and L+1 (comment line above).
+	marks := make(map[string]map[int][]*allowMark)
+	var all []*allowMark
+	for _, f := range u.Files {
+		for _, m := range parseAllows(u.Fset, f, known) {
+			byLine, ok := marks[m.pos.Filename]
+			if !ok {
+				byLine = make(map[int][]*allowMark)
+				marks[m.pos.Filename] = byLine
+			}
+			byLine[m.pos.Line] = append(byLine[m.pos.Line], m)
+			all = append(all, m)
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if m := matchAllow(marks, d); m != nil {
+			m.used = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, m := range all {
+		switch {
+		case m.bad != "":
+			kept = append(kept, Diagnostic{
+				Analyzer: "allow",
+				Pos:      m.pos,
+				Message:  fmt.Sprintf("malformed %s annotation: %s", allowPrefix, m.bad),
+			})
+		case !m.used:
+			kept = append(kept, Diagnostic{
+				Analyzer: "allow",
+				Pos:      m.pos,
+				Message:  fmt.Sprintf("stale %s %s annotation: it suppresses nothing", allowPrefix, m.analyzer),
+			})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// matchAllow finds a well-formed allow mark covering d, preferring the
+// same line over the line above.
+func matchAllow(marks map[string]map[int][]*allowMark, d Diagnostic) *allowMark {
+	byLine, ok := marks[d.Pos.Filename]
+	if !ok {
+		return nil
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, m := range byLine[line] {
+			if m.bad == "" && m.analyzer == d.Analyzer {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// --- shared analyzer helpers ---
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package-level function or method), or nil for builtins, conversions
+// and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package declaring fn, or ""
+// for builtins.
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isTestFile reports whether the file's name has the _test.go suffix.
+func isTestFile(fset *token.FileSet, file *ast.File) bool {
+	return strings.HasSuffix(fset.Position(file.Package).Filename, "_test.go")
+}
+
+// namedTypePath returns (package path, type name) of t's core named
+// type, unwrapping pointers and aliases; ok is false for unnamed types
+// and types from no package (builtins).
+func namedTypePath(t types.Type) (pkgPath, name string, ok bool) {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := types.Unalias(t).(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}

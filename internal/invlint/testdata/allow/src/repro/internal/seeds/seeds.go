@@ -1,0 +1,34 @@
+// Package seeds is the lint:allow corpus: well-formed annotations
+// suppress, malformed and stale ones are findings of their own.
+package seeds
+
+import "time"
+
+// calibrated is an intentional, documented exception: suppressed, no
+// finding expected.
+func calibrated() int64 {
+	return time.Now().UnixNano() //lint:allow detlint calibration baseline is wall-clock by design
+}
+
+// alsoAllowed uses the above-line annotation form.
+func alsoAllowed() int64 {
+	//lint:allow detlint measured once at startup, outside any simulated run
+	return time.Now().UnixNano()
+}
+
+// clean carries an annotation that suppresses nothing: stale.
+func clean() int64 {
+	//lint:allow detlint nothing here violates anything // want "stale //lint:allow detlint annotation"
+	return 42
+}
+
+// noReason omits the mandatory reason: the allow is malformed and the
+// underlying finding still surfaces.
+func noReason() int64 {
+	return time.Now().UnixNano() /* want "call to time\.Now" "missing reason" */ //lint:allow detlint
+}
+
+// unknown names a nonexistent analyzer: malformed, finding surfaces.
+func unknown() int64 {
+	return time.Now().UnixNano() //lint:allow nosuch because reasons // want "call to time\.Now" "unknown analyzer"
+}

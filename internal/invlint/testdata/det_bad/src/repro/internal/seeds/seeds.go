@@ -1,0 +1,73 @@
+// Package seeds is a detlint flagging corpus: every marked line
+// violates the determinism contract.
+package seeds
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// stamp reads the wall clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "call to time\.Now"
+}
+
+// pause blocks on the OS timer.
+func pause() {
+	time.Sleep(time.Millisecond) // want "call to time\.Sleep"
+}
+
+// jitter mutates the process-wide rand source.
+func jitter() int {
+	return rand.Intn(10) // want "call to global rand\.Intn"
+}
+
+// seeded generators are fine: only the marked lines above are findings.
+func seeded() float64 {
+	r := rand.New(rand.NewSource(1))
+	return r.Float64()
+}
+
+// keys leaks map order into a slice that is never sorted.
+func keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "append inside range over map"
+	}
+	return out
+}
+
+// digest feeds map order into a hash: the canonical golden-digest bug.
+func digest(m map[string][]byte) []byte {
+	h := sha256.New()
+	for _, v := range m {
+		h.Write(v) // want "feeding a digest"
+	}
+	return h.Sum(nil)
+}
+
+// dump prints in map order.
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt\.Println inside range over map"
+	}
+}
+
+// render writes ordered output in map order.
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "writing ordered output"
+	}
+	return b.String()
+}
+
+// feed sends in map order.
+func feed(m map[int]bool, ch chan int) {
+	for k := range m {
+		ch <- k // want "channel send inside range over map"
+	}
+}

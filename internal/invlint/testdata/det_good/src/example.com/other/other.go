@@ -1,0 +1,9 @@
+// Package other sits outside the deterministic set: detlint must not
+// apply here at all.
+package other
+
+import "time"
+
+// Stamp may read the wall clock freely; this package's results never
+// feed a simulated run.
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,41 @@
+// Package seeds is the detlint clean corpus: deterministic idioms that
+// must not be flagged.
+package seeds
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// sortedKeys is the sanctioned collect-then-sort idiom: the appended
+// slice is ordered before it can escape.
+func sortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// perm draws from an explicitly seeded generator.
+func perm(n int) []int {
+	r := rand.New(rand.NewSource(42))
+	return r.Perm(n)
+}
+
+// budget does duration arithmetic without observing the clock.
+func budget(steps int) time.Duration {
+	return time.Duration(steps) * time.Microsecond
+}
+
+// tally accumulates a commutative reduction over a map: order cannot
+// be observed, so the range is fine.
+func tally(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

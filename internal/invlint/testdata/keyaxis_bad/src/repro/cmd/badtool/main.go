@@ -1,0 +1,10 @@
+// Command badtool builds an experiments.Key without wiring every axis:
+// the "forgot the new flag" bug class.
+package main
+
+import "repro/internal/experiments"
+
+func main() {
+	k := experiments.Key{Dataset: "astro", Procs: 8} // want "does not wire axis Inject"
+	_ = k.Label()
+}

@@ -1,0 +1,40 @@
+// Package experiments is a keyaxis flagging corpus: the Inject axis
+// was added to Key but never threaded through the contract functions —
+// the missing-memo-axis bug class.
+package experiments
+
+import "strconv"
+
+// Key identifies one campaign cell.
+type Key struct { // want "Key\.Inject is never consumed by the execution path"
+	Dataset string
+	Procs   int
+	Inject  bool
+}
+
+// Label renders the cell name — but forgets the Inject axis, so two
+// different cells print identically.
+func (k Key) Label() string { // want "Key\.Inject is not rendered by Label"
+	return k.Dataset + "/" + strconv.Itoa(k.Procs)
+}
+
+// Campaign memoizes one int result per Key.
+type Campaign struct {
+	results map[Key]int
+}
+
+// DatasetKeys enumerates the sweep — but never sets Inject, so no sweep
+// can ever exercise the axis.
+func (c *Campaign) DatasetKeys(ds string, procs []int) []Key { // want "Key\.Inject is not set by DatasetKeys"
+	var out []Key
+	for _, p := range procs {
+		out = append(out, Key{Dataset: ds, Procs: p})
+	}
+	return out
+}
+
+// execute runs one cell; it reads Dataset and Procs but ignores Inject,
+// so the axis widens the cache identity without changing any run.
+func (c *Campaign) execute(k Key) int {
+	return len(k.Dataset) * k.Procs
+}

@@ -1,0 +1,41 @@
+// Package experiments is the keyaxis clean corpus: every Key axis is
+// rendered, enumerated and consumed.
+package experiments
+
+import "strconv"
+
+// Key identifies one campaign cell.
+type Key struct {
+	Dataset string
+	Procs   int
+	Inject  bool
+}
+
+// Label renders every axis.
+func (k Key) Label() string {
+	return k.Dataset + "/" + strconv.Itoa(k.Procs) + "/inject=" + strconv.FormatBool(k.Inject)
+}
+
+// Campaign memoizes one int result per Key.
+type Campaign struct {
+	results map[Key]int
+}
+
+// DatasetKeys enumerates every axis, Inject on both settings.
+func (c *Campaign) DatasetKeys(ds string, procs []int) []Key {
+	var out []Key
+	for _, p := range procs {
+		out = append(out, Key{Dataset: ds, Procs: p, Inject: false})
+		out = append(out, Key{Dataset: ds, Procs: p, Inject: true})
+	}
+	return out
+}
+
+// execute consumes every axis.
+func (c *Campaign) execute(k Key) int {
+	n := len(k.Dataset) * k.Procs
+	if k.Inject {
+		n++
+	}
+	return n
+}

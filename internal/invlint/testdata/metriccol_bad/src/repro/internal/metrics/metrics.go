@@ -1,0 +1,46 @@
+// Package metrics is a metriccol flagging corpus: counters fall out of
+// the pipeline at each stage — not aggregated, not rendered, not
+// tested.
+package metrics
+
+import "strconv"
+
+// ProcStats holds per-processor counters.
+type ProcStats struct {
+	Proc    int
+	IOTime  float64
+	Dropped int64 // want "ProcStats\.Dropped is not aggregated" "ProcStats\.Dropped is not touched by any test"
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	IOTime float64
+	Hidden float64 // want "Summary\.Hidden has no table column"
+}
+
+// Collector owns the stats of all processors.
+type Collector struct {
+	stats []ProcStats
+}
+
+// Aggregate sums the counters — except Dropped, which silently never
+// reaches the Summary.
+func (c *Collector) Aggregate() Summary {
+	var s Summary
+	for i := range c.stats {
+		s.IOTime += c.stats[i].IOTime
+	}
+	return s
+}
+
+// TableRow is one labeled summary.
+type TableRow struct {
+	Summary Summary
+}
+
+func (r TableRow) format(col string) string {
+	if col == "io" {
+		return strconv.FormatFloat(r.Summary.IOTime, 'f', 3, 64)
+	}
+	return "?"
+}

@@ -1,0 +1,13 @@
+package metrics
+
+import "testing"
+
+// TestAggregate touches IOTime and Hidden but never Dropped.
+func TestAggregate(t *testing.T) {
+	c := Collector{stats: []ProcStats{{Proc: 0, IOTime: 1}}}
+	s := c.Aggregate()
+	if s.IOTime != 1 {
+		t.Fatal("io")
+	}
+	_ = s.Hidden
+}

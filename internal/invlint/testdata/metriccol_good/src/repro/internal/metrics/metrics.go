@@ -1,0 +1,42 @@
+// Package metrics is the metriccol clean corpus: every exported
+// counter is aggregated, rendered and tested.
+package metrics
+
+import "strconv"
+
+// ProcStats holds per-processor counters.
+type ProcStats struct {
+	Proc   int
+	IOTime float64
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	IOTime float64
+}
+
+// Collector owns the stats of all processors.
+type Collector struct {
+	stats []ProcStats
+}
+
+// Aggregate sums every counter.
+func (c *Collector) Aggregate() Summary {
+	var s Summary
+	for i := range c.stats {
+		s.IOTime += c.stats[i].IOTime
+	}
+	return s
+}
+
+// TableRow is one labeled summary.
+type TableRow struct {
+	Summary Summary
+}
+
+func (r TableRow) format(col string) string {
+	if col == "io" {
+		return strconv.FormatFloat(r.Summary.IOTime, 'f', 3, 64)
+	}
+	return "?"
+}

@@ -1,0 +1,11 @@
+package metrics
+
+import "testing"
+
+// TestAggregate touches every exported counter.
+func TestAggregate(t *testing.T) {
+	c := Collector{stats: []ProcStats{{Proc: 0, IOTime: 1}}}
+	if s := c.Aggregate(); s.IOTime != 1 {
+		t.Fatal("io")
+	}
+}

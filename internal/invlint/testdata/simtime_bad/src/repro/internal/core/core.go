@@ -1,0 +1,35 @@
+// Package core is a simtime flagging corpus: code reachable from a
+// sim.Proc body blocks on forbidden real-world primitives.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// body is a process body — a root of the reachability analysis — and
+// every blocking construct in it is a finding.
+func body(p *sim.Proc, ch chan int, wg *sync.WaitGroup) {
+	go drain(ch)            // want "goroutine spawned in sim-reachable code"
+	<-ch                    // want "channel receive in sim-reachable code"
+	time.Sleep(time.Second) // want "time\.Sleep in sim-reachable code"
+	wg.Wait()               // want "sync\.WaitGroup\.Wait in sim-reachable code"
+	helper(ch)
+	p.Sleep(1)
+}
+
+// helper is reachable from body through the call graph, so its blocking
+// operations are findings too.
+func helper(ch chan int) {
+	select { // want "select in sim-reachable code"
+	default:
+	}
+	ch <- 1 // want "channel send in sim-reachable code"
+}
+
+// drain is reachable (body names it in a go statement).
+func drain(ch chan int) {
+	<-ch // want "channel receive in sim-reachable code"
+}

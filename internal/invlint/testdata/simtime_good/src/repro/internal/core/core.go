@@ -1,0 +1,25 @@
+// Package core is the simtime clean corpus: process bodies block only
+// on virtual-time primitives, and helpers outside the reachable set may
+// use real channels.
+package core
+
+import "repro/internal/sim"
+
+// body blocks only through the kernel's primitives.
+func body(p *sim.Proc) {
+	p.Sleep(1)
+	_ = p.Recv()
+	step()
+}
+
+// step is reachable from body but does nothing forbidden.
+func step() {}
+
+// plumbing is NOT reachable from any process body: bare channel use is
+// fine outside the simulation.
+func plumbing(ch chan int) {
+	ch <- 1
+	<-ch
+}
+
+var _ = plumbing

@@ -1,0 +1,12 @@
+// Package sim is a corpus stub of the discrete-event kernel: just
+// enough surface for simtime reachability tests.
+package sim
+
+// Proc is a simulated process handle.
+type Proc struct{}
+
+// Sleep advances virtual time.
+func (p *Proc) Sleep(d float64) {}
+
+// Recv blocks on the virtual clock for the next message.
+func (p *Proc) Recv() any { return nil }

@@ -26,9 +26,12 @@ type ProcStats struct {
 	BlocksLoaded int64 // block reads from disk
 	BlocksPurged int64 // cache evictions
 	MsgsSent     int64
-	MsgsRecv     int64
-	BytesSent    int64
-	BytesRecv    int64
+	// MsgsRecv and BytesRecv are exact mirrors of the sent totals in the
+	// lossless simulated network (pinned by TestCounterRoundTrip), so the
+	// Summary aggregates only the sent side.
+	MsgsRecv  int64 //lint:allow metriccol recv mirrors sent in the lossless sim; only the sent side is aggregated
+	BytesSent int64
+	BytesRecv int64 //lint:allow metriccol recv mirrors sent in the lossless sim; only the sent side is aggregated
 
 	StreamlinesCompleted int64
 	PeakMemoryBytes      int64
@@ -233,9 +236,10 @@ func (s Summary) String() string {
 }
 
 // Table renders rows of (label, summary) pairs as an aligned text table
-// with one column per requested metric. Valid metric names: wall, io,
-// ioq (shared-disk queue wait), hidden (I/O time overlapped with
-// compute), comm, efficiency, msgs, bytes, loads, purges, steps,
+// with one column per requested metric. Valid metric names: procs, wall,
+// io, ioq (shared-disk queue wait), hidden (I/O time overlapped with
+// compute), comm, idle, efficiency, msgs, bytes, loads, purges, steps,
+// done (streamlines completed), peakmem (max per-processor bytes),
 // imbalance, steals (hits/attempts), tokens, prefetch (hits/issued),
 // pfwaste (prefetched blocks evicted unused), epochs (epoch crossings),
 // psteps (pathline steps), apeak (peak simultaneously active released
@@ -271,8 +275,16 @@ func (r TableRow) format(col string) string {
 	}
 	s := r.Summary
 	switch col {
+	case "procs":
+		return fmt.Sprintf("%d", s.NumProcs)
 	case "wall":
 		return fmt.Sprintf("%.3f", s.WallClock)
+	case "idle":
+		return fmt.Sprintf("%.3f", s.TotalIdle)
+	case "done":
+		return fmt.Sprintf("%d", s.StreamlinesCompleted)
+	case "peakmem":
+		return fmt.Sprintf("%d", s.PeakMemoryBytes)
 	case "io":
 		return fmt.Sprintf("%.3f", s.TotalIO)
 	case "ioq":

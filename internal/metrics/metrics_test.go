@@ -202,7 +202,7 @@ func TestTableRendering(t *testing.T) {
 func TestTableAllColumns(t *testing.T) {
 	c := NewCollector(1)
 	c.P(0).EndTime = 1
-	cols := []string{"wall", "io", "ioq", "hidden", "comm", "compute", "efficiency", "msgs", "bytes", "loads", "purges", "steps", "imbalance", "steals", "tokens", "prefetch", "pfwaste", "epochs", "psteps", "apeak", "rstalls", "rstall-s"}
+	cols := []string{"procs", "wall", "io", "ioq", "hidden", "comm", "idle", "compute", "efficiency", "msgs", "bytes", "loads", "purges", "steps", "done", "peakmem", "imbalance", "steals", "tokens", "prefetch", "pfwaste", "epochs", "psteps", "apeak", "rstalls", "rstall-s"}
 	out := Table([]TableRow{{Label: "x", Summary: c.Aggregate()}}, cols)
 	if strings.Contains(out, "?") {
 		t.Errorf("a known column rendered as unknown:\n%s", out)
@@ -216,6 +216,89 @@ func TestCSV(t *testing.T) {
 	want := "run,wall\nhybrid/128,3.000\n"
 	if out != want {
 		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+// TestCounterRoundTrip pins the full counter pipeline: every exported
+// ProcStats counter set on a single processor must surface in the
+// Summary (sums, maxes, or — for the recv mirrors — equal the sent side
+// that is aggregated in its place). The metriccol analyzer (cmd/slvet)
+// requires every counter to be touched by a test; this is that test for
+// any counter without scenario coverage of its own.
+func TestCounterRoundTrip(t *testing.T) {
+	c := NewCollector(1)
+	*c.P(0) = ProcStats{
+		Proc:                 0,
+		ComputeTime:          1,
+		IOTime:               2,
+		IOQueueTime:          0.5,
+		CommTime:             3,
+		IdleTime:             4,
+		EndTime:              11,
+		Steps:                5,
+		BlocksLoaded:         6,
+		BlocksPurged:         3,
+		MsgsSent:             7,
+		MsgsRecv:             7,
+		BytesSent:            800,
+		BytesRecv:            800,
+		StreamlinesCompleted: 9,
+		PeakMemoryBytes:      1000,
+		StealAttempts:        11,
+		StealHits:            12,
+		TokensPassed:         13,
+		PrefetchIssued:       14,
+		PrefetchHits:         15,
+		PrefetchWasted:       16,
+		IOHiddenTime:         0.25,
+		ActivePeak:           17,
+		ReleaseStalls:        18,
+		ReleaseStallTime:     0.125,
+		PathlineSteps:        19,
+		EpochCrossings:       20,
+	}
+	p := c.P(0)
+	if p.MsgsRecv != p.MsgsSent || p.BytesRecv != p.BytesSent {
+		t.Fatalf("lossless network invariant broken in fixture: sent %d/%d recv %d/%d",
+			p.MsgsSent, p.BytesSent, p.MsgsRecv, p.BytesRecv)
+	}
+	s := c.Aggregate()
+	want := Summary{
+		NumProcs:             1,
+		WallClock:            11,
+		TotalIO:              2,
+		TotalIOQueue:         0.5,
+		TotalComm:            3,
+		TotalCompute:         1,
+		TotalIdle:            4,
+		BlocksLoaded:         6,
+		BlocksPurged:         3,
+		BlockEfficiency:      0.5,
+		MsgsSent:             7,
+		BytesSent:            800,
+		Steps:                5,
+		StreamlinesCompleted: 9,
+		PeakMemoryBytes:      1000,
+		StealAttempts:        11,
+		StealHits:            12,
+		TokensPassed:         13,
+		PrefetchIssued:       14,
+		PrefetchHits:         15,
+		PrefetchWasted:       16,
+		IOHiddenTime:         0.25,
+		ActivePeak:           17,
+		ReleaseStalls:        18,
+		ReleaseStallTime:     0.125,
+		PathlineSteps:        19,
+		EpochCrossings:       20,
+		Imbalance:            1,
+	}
+	if s != want {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", s, want)
+	}
+	if s.TotalIdle != 4 || s.PathlineSteps != 19 || s.EpochCrossings != 20 {
+		t.Errorf("spot checks failed: idle=%g psteps=%d epochs=%d",
+			s.TotalIdle, s.PathlineSteps, s.EpochCrossings)
 	}
 }
 
