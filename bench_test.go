@@ -541,6 +541,48 @@ func BenchmarkInjectionCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultRecoveryCampaign runs the three recoverable algorithms
+// on the astro cell with the kill plan armed (DESIGN.md §11) against
+// their fault-free baselines, reporting the simulated wall clock and
+// the recovery counters — the cost of losing the worst-case processor
+// (the hybrid coordinator and the stealing ring's initial token
+// holder) mid-run.
+func BenchmarkFaultRecoveryCampaign(b *testing.B) {
+	sc := experiments.SmallScale()
+	procs := sc.ProcCounts[len(sc.ProcCounts)/2]
+	prob, err := experiments.BuildProblem(experiments.Astro, experiments.Sparse, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range []core.Algorithm{core.LoadOnDemand, core.WorkStealing, core.HybridMS} {
+		for _, fm := range []experiments.FaultMode{experiments.FaultsOff, experiments.FaultsKill} {
+			name := string(alg) + "-free"
+			if fm.Enabled() {
+				name = string(alg) + "-kill"
+			}
+			b.Run(name, func(b *testing.B) {
+				cfg := experiments.KeyMachineConfig(experiments.Key{
+					Dataset: experiments.Astro, Seeding: experiments.Sparse,
+					Alg: alg, Procs: procs, Faults: fm,
+				}, sc)
+				var s metrics.Summary
+				for i := 0; i < b.N; i++ {
+					res, err := core.Run(prob, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					s = res.Summary
+				}
+				b.ReportMetric(s.WallClock, "vwall-s")
+				b.ReportMetric(float64(s.ProcsLost), "lost")
+				b.ReportMetric(float64(s.SeedsAdopted), "adopted")
+				b.ReportMetric(float64(s.RingReforms), "reforms")
+				b.ReportMetric(float64(s.MasterFailovers), "failovers")
+			})
+		}
+	}
+}
+
 // BenchmarkFTLE measures the flow-map analysis built on the integrator.
 func BenchmarkFTLE(b *testing.B) {
 	f := field.DefaultABC()

@@ -23,6 +23,7 @@
 //	slbench -unsteady -prefetch both -prefetch-depth 3
 //	slbench -inject stagger       # every cell with staggered seeding (§9)
 //	slbench -inject burst -inject-waves 8
+//	slbench -faults kill          # every cell losing processors mid-run (§11)
 package main
 
 import (
@@ -63,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pfDepth   = fs.Int("prefetch-depth", 0, "lookahead per prefetch predictor (0 = scale default)")
 		injName   = fs.String("inject", "off", "run every cell with a seed-release schedule: off (all at t0), stagger, burst, or rate (DESIGN.md §9)")
 		injWaves  = fs.Int("inject-waves", 0, "release waves for the burst injection schedule (0 = scale default)")
+		faultsStr = fs.String("faults", "off", "run every cell under a processor-loss scenario: off or kill (DESIGN.md §11)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -135,6 +137,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sc.InjectWaves = *injWaves
 	}
 
+	fm := experiments.FaultMode(*faultsStr)
+	if err := fm.Validate(); err != nil {
+		fmt.Fprintf(stderr, "slbench: %v\n", err)
+		return 2
+	}
+
 	c := experiments.NewCampaign(sc)
 	c.Workers = *jobs
 	c.Unsteady = *unsteady
@@ -143,6 +151,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if inj.Enabled() {
 		c.Injection = inj
+	}
+	if fm.Enabled() {
+		c.Faults = fm
 	}
 	if *verbose {
 		c.Log = func(s string) { fmt.Fprintln(stderr, s) }

@@ -242,3 +242,30 @@ func TestRunBadInjectFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestRunFaultFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-figure", "5", "-faults", "kill"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"astro/sparse/ondemand/8+f:kill", "lost", "adopted", "failovers"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("fault figure table missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunBadFaultFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-faults", "sideways"}, &out, &errw); code != 2 {
+		t.Errorf("run(-faults sideways) = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown fault mode") {
+		t.Errorf("stderr should name the unknown mode: %s", errw.String())
+	}
+}

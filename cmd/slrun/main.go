@@ -25,6 +25,12 @@
 // reshapes when work exists — and so the load balance — but never any
 // particle's geometry.
 //
+// With -faults kill the scale's fault scenario takes down the lowest
+// ranks mid-run (DESIGN.md §11): -fault-time and -fault-procs override
+// when and how many. The dynamic algorithms recover and finish every
+// streamline bit-identically; static allocation fails with a typed
+// error, which is the experiment's point.
+//
 // Usage examples:
 //
 //	slrun -dataset astro -seeding sparse -alg hybrid -procs 128
@@ -38,6 +44,8 @@
 //	slrun -unsteady -alg ondemand -prefetch both -prefetch-depth 3
 //	slrun -alg ondemand -inject stagger                 # streak-line seeding
 //	slrun -alg hybrid -inject burst -inject-waves 8     # bursty rake seeding
+//	slrun -alg stealing -faults kill                    # lose proc 0 mid-run
+//	slrun -alg hybrid -faults kill -fault-procs 2       # kill both low ranks
 package main
 
 import (
@@ -95,6 +103,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		prefetchD   = fs.Int("prefetch-depth", 0, "with -prefetch: lookahead per predictor (0 = scale default)")
 		injectName  = fs.String("inject", "off", "seed-release schedule: off (all at t0), stagger, burst, or rate (DESIGN.md §9)")
 		injectWaves = fs.Int("inject-waves", 0, "with -inject burst: release waves across the injection window (0 = scale default)")
+		faultsName  = fs.String("faults", "off", "processor-loss scenario: off or kill (DESIGN.md §11)")
+		faultTime   = fs.Float64("fault-time", 0, "with -faults: virtual second of the kill (0 = scale default)")
+		faultProcs  = fs.Int("fault-procs", 0, "with -faults: how many low ranks die (0 = scale default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -196,11 +207,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		sc.PrefetchDepth = *prefetchD
 	}
+	fm := experiments.FaultMode(*faultsName)
+	if err := fm.Validate(); err != nil {
+		fmt.Fprintf(stderr, "slrun: %v\n", err)
+		return 2
+	}
+	if *faultTime != 0 || *faultProcs != 0 {
+		// Overrides without a scenario would be silently ignored.
+		if !fm.Enabled() {
+			fmt.Fprintln(stderr, "slrun: -fault-time/-fault-procs require -faults kill")
+			return 2
+		}
+		if *faultTime < 0 || *faultProcs < 0 {
+			fmt.Fprintf(stderr, "slrun: negative -fault-time/-fault-procs (%g/%d)\n", *faultTime, *faultProcs)
+			return 2
+		}
+		if *faultTime != 0 {
+			sc.FaultTime = *faultTime
+		}
+		if *faultProcs != 0 {
+			sc.FaultProcs = *faultProcs
+		}
+	}
 
 	if len(procCounts) > 1 {
-		return runSweep(sc, *dataset, *seeding, *alg, procCounts, *jobs, *unsteady, pf, inj, steal, stdout, stderr)
+		return runSweep(sc, *dataset, *seeding, *alg, procCounts, *jobs, *unsteady, pf, inj, fm, steal, stdout, stderr)
 	}
-	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, *unsteady, pf, inj, steal, stdout, stderr)
+	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, *unsteady, pf, inj, fm, steal, stdout, stderr)
 }
 
 // applySteal folds the -steal-* flag overrides into a machine config,
@@ -219,7 +252,7 @@ func applySteal(cfg *core.Config, steal core.StealParams) {
 
 // runSweep executes one (dataset, seeding, algorithm) cell at several
 // processor counts on the campaign worker pool and prints a summary table.
-func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []int, jobs int, unsteady bool, pf prefetch.Policy, inj experiments.Injection, steal core.StealParams, stdout, stderr io.Writer) int {
+func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []int, jobs int, unsteady bool, pf prefetch.Policy, inj experiments.Injection, fm experiments.FaultMode, steal core.StealParams, stdout, stderr io.Writer) int {
 	// The campaign keeps the scale's own ProcCounts so MemoryBudget (which
 	// derives from the sweep minimum) matches what a single -procs run of
 	// the same scale would use; the sweep cells come from the explicit key
@@ -237,6 +270,7 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 			Procs:     p,
 			Unsteady:  unsteady,
 			Injection: inj,
+			Faults:    fm,
 		}
 		if pf.Enabled() {
 			k.Prefetch = pf
@@ -264,6 +298,9 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 	if inj.Enabled() {
 		cols = append(cols, "apeak", "rstalls")
 	}
+	if fm.Enabled() {
+		cols = append(cols, "lost", "adopted", "reforms", "failovers", "sendfail")
+	}
 	fmt.Fprint(stdout, metrics.Table(rows, cols))
 	if failed > 0 {
 		// Match the single-run convention: any failed cell (e.g. the
@@ -274,7 +311,7 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 }
 
 // runSingle executes one configuration and prints the detailed report.
-func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, unsteady bool, pf prefetch.Policy, inj experiments.Injection, steal core.StealParams, stdout, stderr io.Writer) int {
+func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, unsteady bool, pf prefetch.Policy, inj experiments.Injection, fm experiments.FaultMode, steal core.StealParams, stdout, stderr io.Writer) int {
 	prob, err := experiments.BuildInjectedProblem(experiments.Dataset(dataset), experiments.Seeding(seeding), sc, unsteady, inj)
 	if err != nil {
 		fmt.Fprintln(stderr, "slrun:", err)
@@ -282,7 +319,8 @@ func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, pe
 	}
 	cfg := experiments.KeyMachineConfig(experiments.Key{
 		Dataset: experiments.Dataset(dataset), Seeding: experiments.Seeding(seeding),
-		Alg: core.Algorithm(alg), Procs: procs, Unsteady: unsteady, Prefetch: pf, Injection: inj,
+		Alg: core.Algorithm(alg), Procs: procs, Unsteady: unsteady, Prefetch: pf,
+		Injection: inj, Faults: fm,
 	}, sc)
 	applySteal(&cfg, steal)
 	d := prob.Provider.Decomp()
@@ -330,6 +368,12 @@ func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, pe
 	if inj.Enabled() {
 		fmt.Fprintf(stdout, "active peak         %10d   streamlines on one processor\n", s.ActivePeak)
 		fmt.Fprintf(stdout, "release stalls      %10d   (%.3f s parked)\n", s.ReleaseStalls, s.ReleaseStallTime)
+	}
+	if fm.Enabled() {
+		fmt.Fprintf(stdout, "processors lost     %10d   (%d seeds adopted)\n", s.ProcsLost, s.SeedsAdopted)
+		fmt.Fprintf(stdout, "ring reforms        %10d\n", s.RingReforms)
+		fmt.Fprintf(stdout, "master failovers    %10d\n", s.MasterFailovers)
+		fmt.Fprintf(stdout, "sends to dead peers %10d\n", s.SendFailed)
 	}
 
 	if perProc {

@@ -288,3 +288,73 @@ func TestRunUnsteadySweep(t *testing.T) {
 		}
 	}
 }
+
+func TestRunFaultSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "astro", "-seeding", "sparse",
+		"-alg", "stealing", "-procs", "8", "-faults", "kill"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"processors lost", "ring reforms", "master failovers", "sends to dead peers"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "astro", "-seeding", "sparse",
+		"-alg", "hybrid", "-procs", "8,16", "-faults", "kill", "-fault-procs", "2", "-j", "2"}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"astro/sparse/hybrid/8+f:kill", "astro/sparse/hybrid/16+f:kill",
+		"lost", "adopted", "failovers"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFaultStaticFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	// Static under a kill plan is the documented typed refusal; the CLI
+	// must surface it as a failed run, not a partial result.
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-dataset", "astro", "-seeding", "sparse",
+		"-alg", "static", "-procs", "8", "-faults", "kill"}
+	if code := run(args, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "cannot recover") {
+		t.Errorf("failure output should name the unrecoverable loss:\n%s", out.String())
+	}
+}
+
+func TestRunBadFaultFlags(t *testing.T) {
+	cases := [][]string{
+		{"-faults", "sideways"},
+		{"-fault-time", "1"},                      // override without a scenario
+		{"-fault-procs", "2"},                     // override without a scenario
+		{"-faults", "kill", "-fault-time", "-1"},  // negative instant
+		{"-faults", "kill", "-fault-procs", "-2"}, // negative victim count
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

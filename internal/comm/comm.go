@@ -66,6 +66,13 @@ type Endpoint struct {
 	proc   *sim.Proc
 	index  int
 	stats  *metrics.ProcStats
+
+	// inHand is the envelope popped from the inbox but still being
+	// charged receive overhead. If the processor dies during that
+	// charge, the message is in neither the inbox nor the handler —
+	// InHand is how the recovery layer finds it (see recvCharge).
+	inHand    Envelope
+	hasInHand bool
 }
 
 // Fabric is the set of endpoints sharing one network.
@@ -101,26 +108,51 @@ func (e *Endpoint) Proc() *sim.Proc { return e.proc }
 
 // Send transmits payload to endpoint index "to". The calling processor is
 // charged post overhead plus transfer time (both recorded as comm time);
-// delivery occurs after the network latency.
+// delivery occurs after the network latency. A send to a peer that has
+// already failed is dropped on the floor: the sender still pays the full
+// posting cost (it cannot know the destination is gone until the fabric
+// refuses the message) and the drop is tallied as SendFailed rather than
+// as traffic, so the sent/received mirror holds for delivered messages.
 func (e *Endpoint) Send(to int, payload Message) {
 	n := e.fabric.net
 	cost := n.PostOverheadSec + n.TransferTime(payload.Bytes())
 	start := e.proc.Now()
 	e.proc.Sleep(cost)
+	dst := e.fabric.endpoints[to]
+	if dst.proc.Failed() {
+		if e.stats != nil {
+			e.stats.CommTime += e.proc.Now() - start
+			e.stats.SendFailed++
+		}
+		// Still schedule the delivery: it will land on a failed process
+		// and be routed to the kernel's dead-letter hook, which is how
+		// the recovery layer salvages work posted into the void (e.g.
+		// streamlines offloaded to a peer that just died).
+		e.proc.Send(dst.proc, Envelope{From: e.index, Payload: payload}, n.LatencySec)
+		return
+	}
 	if e.stats != nil {
 		e.stats.CommTime += e.proc.Now() - start
 		e.stats.MsgsSent++
 		e.stats.BytesSent += payload.Bytes()
 	}
-	dst := e.fabric.endpoints[to]
 	e.proc.Send(dst.proc, Envelope{From: e.index, Payload: payload}, n.LatencySec)
 }
 
 // recvCharge applies the receiver-side cost of one delivered envelope.
+// Local envelopes (From < 0: death notifications and recovery
+// adoptions) never crossed the wire, so they charge no overhead and
+// touch no traffic counters.
 func (e *Endpoint) recvCharge(env Envelope) {
+	if env.From < 0 {
+		return
+	}
 	n := e.fabric.net
 	start := e.proc.Now()
+	e.inHand = env
+	e.hasInHand = true
 	e.proc.Sleep(n.RecvOverheadSec)
+	e.hasInHand = false
 	if e.stats != nil {
 		e.stats.CommTime += e.proc.Now() - start
 		e.stats.MsgsRecv++
@@ -181,3 +213,42 @@ type Sized int64
 
 // Bytes implements Message.
 func (s Sized) Bytes() int64 { return int64(s) }
+
+// LocalFrom is the sender index of envelopes that did not cross the
+// wire: death notifications and the recovery layer's adoption messages.
+// recvCharge recognizes it and applies no communication cost.
+const LocalFrom = -1
+
+// Death notifies a watcher that a peer processor failed. It is
+// delivered as a local envelope (From == LocalFrom) one network latency
+// after the fault instant — the virtual time it takes the machine's
+// health monitoring to observe the loss.
+type Death struct {
+	// Peer is the endpoint index of the failed processor.
+	Peer int
+}
+
+// Bytes implements Message; a death notification is a local
+// observation, not wire traffic.
+func (Death) Bytes() int64 { return 0 }
+
+// WatchPeer registers this endpoint for a Death{peer} notification,
+// delivered to its inbox one network latency after the peer fails (or
+// after the call, if the peer is already dead). Notifications for one
+// death arrive in watch-registration order — the deterministic
+// tie-break for survivors reacting to the same loss.
+func (e *Endpoint) WatchPeer(peer int) {
+	dst := e.fabric.endpoints[peer]
+	e.proc.Watch(dst.proc, Envelope{From: LocalFrom, Payload: Death{Peer: peer}}, e.fabric.net.LatencySec)
+}
+
+// Alive reports whether endpoint i's processor has not failed. An
+// endpoint whose body finished normally is still "alive" here: it drained
+// its protocol, it did not lose work.
+func (f *Fabric) Alive(i int) bool { return !f.endpoints[i].proc.Failed() }
+
+// InHand returns the envelope this endpoint had popped from its inbox
+// but was still paying receive overhead on — the one place a delivered
+// message lives in neither the inbox nor algorithm state. The recovery
+// layer checks it when the endpoint's processor dies mid-charge.
+func (e *Endpoint) InHand() (Envelope, bool) { return e.inHand, e.hasInHand }

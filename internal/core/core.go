@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"repro/internal/comm"
+	"repro/internal/faults"
 	"repro/internal/grid"
 	"repro/internal/integrate"
 	"repro/internal/metrics"
@@ -270,6 +271,15 @@ type Config struct {
 	// CollectTraces gathers the finished streamlines into the Result
 	// (costs host memory; used by tests, examples and rendering).
 	CollectTraces bool
+	// Faults schedules deterministic processor deaths (internal/faults).
+	// The dynamic algorithms recover: survivors adopt the victim's
+	// unfinished streamlines (restarting each from its seed, so geometry
+	// is unchanged), work stealing re-forms its token ring around the
+	// gap, and hybrid promotes a slave when a master dies. Static
+	// allocation cannot recover — block ownership dies with the
+	// processor — and fails with *faults.UnrecoverableError. The empty
+	// plan leaves every run byte-identical to pre-fault builds.
+	Faults faults.Plan
 }
 
 // Validate reports a descriptive error for malformed configs.
@@ -291,6 +301,9 @@ func (c *Config) Validate() error {
 		}
 	}
 	if err := c.Prefetch.Validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(c.Procs); err != nil {
 		return err
 	}
 	return nil
@@ -339,6 +352,13 @@ func Run(p Problem, cfg Config) (*Result, error) {
 	if cfg.DiskServers > 0 {
 		cfg.Disk.Shared = sim.NewResource(r.kernel, cfg.DiskServers)
 	}
+	r.procs = make([]*sim.Proc, cfg.Procs)
+	r.workers = make([]*worker, cfg.Procs)
+	if cfg.Faults.Enabled() {
+		r.faultsOn = true
+		r.tokenHolder = -1
+		r.kernel.SetDeadLetter(r.onDeadLetter)
+	}
 
 	switch cfg.Algorithm {
 	case StaticAlloc:
@@ -351,10 +371,20 @@ func Run(p Problem, cfg Config) (*Result, error) {
 		r.buildStealing()
 	}
 
+	if r.faultsOn {
+		// Arm the plan in canonical (time, proc) order: simultaneous
+		// deaths are processed lowest-index first, deterministically.
+		for _, ev := range cfg.Faults.Canonicalize().Events {
+			idx := ev.Proc
+			r.kernel.At(ev.Time, func() { r.failProc(idx) })
+		}
+	}
+
 	simErr := r.kernel.Run()
 	if r.err != nil {
-		// An in-simulation failure (e.g. OOM) usually strands peers;
-		// report the root cause rather than the collateral deadlock.
+		// An in-simulation failure (OOM, an unrecoverable fault) halts
+		// the kernel, which unwinds the surviving processes
+		// deterministically at the fault instant; report the root cause.
 		return nil, r.err
 	}
 	if simErr != nil {
@@ -391,12 +421,55 @@ type runState struct {
 
 	err      error // first fatal in-simulation error (e.g. OOM)
 	finished []*trace.Streamline
+
+	// procs and workers index the per-processor runtime by endpoint
+	// (spawn order == endpoint index for every algorithm). The recovery
+	// layer reads them with its god's-eye view at fault instants.
+	procs   []*sim.Proc
+	workers []*worker
+
+	// Fault-injection state (recovery.go); all of it is inert — and the
+	// run byte-identical to a pre-fault build — unless faultsOn.
+	faultsOn bool
+	// completedTotal is the run's durable completion ledger: the recovery
+	// layer's stand-in for the completion records a resilient system
+	// would keep outside any single processor's memory. It feeds token
+	// regeneration and the coordinator recheck after a death.
+	completedTotal int
+	// odPools registers each Load-On-Demand worker's pool for salvage.
+	odPools []*pool
+	// thieves registers each work-stealing processor.
+	thieves []*thief
+	// tokenHolder is the endpoint currently holding the termination
+	// token (-1 while the token is in flight or retired); when the
+	// holder dies the recovery layer regenerates the token.
+	tokenHolder int
+	// hybMasters / hybSlaves register hybrid roles by endpoint. A
+	// promoted processor moves from hybSlaves to hybMasters.
+	hybMasters []*master
+	hybSlaves  []*slave
+	// hybNM is the original master count (endpoints 0..hybNM-1).
+	hybNM int
+	// masterEPs lists live (or promotion-pending) master endpoints,
+	// sorted ascending; coordEP == masterEPs[0] is the current
+	// completion coordinator.
+	masterEPs []int
+	coordEP   int
+	// hybOrphans parks salvaged hybrid work while no master is live but
+	// a promotion is still in flight (its msgPromote dead-letters and
+	// re-promotes one detection latency out); hybridAfterDeath flushes
+	// the parked records to the next enthroned master.
+	hybOrphans []seedRec
 }
 
-// fail records the first fatal error; workers check failed() to stop.
+// fail records the first fatal error and halts the kernel: every
+// surviving process is unwound deterministically at the current instant
+// instead of being stranded until the event queue drains into a
+// deadlock report (the old behavior that Run had to paper over).
 func (r *runState) fail(err error) {
 	if r.err == nil {
 		r.err = err
+		r.kernel.Halt()
 	}
 }
 
@@ -412,6 +485,16 @@ func (r *runState) complete(w *worker, sl *trace.Streamline) {
 	w.noteDeactivated(1)
 	if r.cfg.CollectTraces {
 		r.finished = append(r.finished, sl)
+	}
+	if r.faultsOn {
+		r.completedTotal++
+		if r.cfg.Algorithm == LoadOnDemand && r.completedTotal == len(r.prob.Seeds) {
+			// Load On Demand has no coordinator; under faults its
+			// workers outlive their own splits (a later death may orphan
+			// work only they can adopt), so the ledger reaching the
+			// total is what releases them.
+			r.odBroadcastDone()
+		}
 	}
 }
 
@@ -466,6 +549,13 @@ type worker struct {
 	// this processor; its high-water mark is the ActivePeak metric, the
 	// instantaneous working population an injection schedule shapes.
 	activeNow int64
+
+	// sending / sendingRecs hold work that lives only in a local
+	// variable while a Send's posting cost elapses — a kill window: if
+	// the processor dies during that Sleep the streamlines are in
+	// neither a pool nor the wire. The recovery layer salvages them.
+	sending     []*trace.Streamline
+	sendingRecs []seedRec
 }
 
 // newWorker attaches a worker to proc with the given cache capacity.
@@ -478,13 +568,20 @@ func (r *runState) newWorker(proc *sim.Proc, statIdx, cacheBlocks int) *worker {
 		// servers or flood a small cache faster than it consumes.
 		cache.SetPrefetchLimit(2 * r.pf.Depth())
 	}
-	return &worker{
+	w := &worker{
 		run:   r,
 		proc:  proc,
 		end:   r.fabric.Attach(proc, stats),
 		cache: cache,
 		stats: stats,
 	}
+	// Tests build bare runStates without Run()'s registries; skip the
+	// fault-recovery registration there.
+	if statIdx < len(r.procs) {
+		r.procs[statIdx] = proc
+		r.workers[statIdx] = w
+	}
+	return w
 }
 
 // tryPrefetch issues one speculative read, refusing when the memory
@@ -727,7 +824,9 @@ func (w *worker) sendStreamlines(to int, sls []*trace.Streamline) {
 			sl.Points = []vec.V3{sl.P}
 		}
 	}
+	w.sending = sls
 	w.end.Send(to, msgStreamlines{sls: sls, geometry: geom})
+	w.sending = nil
 }
 
 // msgDone reports completed streamlines to a coordinator.

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/comm"
+	"repro/internal/faults"
 	"repro/internal/grid"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -127,6 +128,13 @@ func hybridTopology(procs, w int) (masters, slaves int) {
 func (r *runState) buildHybrid() {
 	hp := r.cfg.Hybrid
 	nm, ns := hybridTopology(r.cfg.Procs, hp.W)
+	r.hybNM = nm
+	r.hybMasters = make([]*master, r.cfg.Procs)
+	r.hybSlaves = make([]*slave, r.cfg.Procs)
+	for m := 0; m < nm; m++ {
+		r.masterEPs = append(r.masterEPs, m)
+	}
+	r.coordEP = 0
 
 	// Partition seeds (block-grouped) across masters.
 	recs := r.seedRecords()
@@ -174,10 +182,20 @@ type slave struct {
 	active         int
 	completedDelta int
 	done           bool
+
+	// inHand is the streamline being advanced (in neither byBlock nor a
+	// message); the fault-recovery salvage reads it if this processor
+	// dies mid-advance.
+	inHand *trace.Streamline
+	// promoted holds a pending msgPromote: this slave takes over its
+	// dead master's role as soon as the current handler returns.
+	promoted *msgPromote
 }
 
 func newSlave(r *runState, w *worker, master int) *slave {
-	return &slave{r: r, w: w, master: master, byBlock: make(map[grid.BlockID][]*trace.Streamline)}
+	s := &slave{r: r, w: w, master: master, byBlock: make(map[grid.BlockID][]*trace.Streamline)}
+	r.hybSlaves[w.end.Index()] = s
+	return s
 }
 
 func (s *slave) run() {
@@ -193,6 +211,10 @@ func (s *slave) run() {
 			if s.done {
 				return
 			}
+			if s.promoted != nil {
+				s.runAsMaster(*s.promoted)
+				return
+			}
 		}
 		if s.r.failed() {
 			return
@@ -204,6 +226,10 @@ func (s *slave) run() {
 			// (Algorithm 1's "Process messages from Master").
 			s.sendStatus(true)
 			s.handle(s.w.end.Recv())
+			if s.promoted != nil {
+				s.runAsMaster(*s.promoted)
+				return
+			}
 			continue
 		}
 		// Latency hiding: post the status before advancing the last
@@ -247,6 +273,7 @@ func (s *slave) workableCount() int {
 // them or terminates.
 func (s *slave) advanceInLoaded(sl *trace.Streamline, ev grid.Evaluator) {
 	d := s.r.prob.Provider.Decomp()
+	s.inHand = sl
 	for {
 		prev := sl.Block
 		if sl.Steps >= s.r.prob.maxSteps() {
@@ -258,6 +285,7 @@ func (s *slave) advanceInLoaded(sl *trace.Streamline, ev grid.Evaluator) {
 			s.r.complete(s.w, sl)
 			s.active--
 			s.completedDelta++
+			s.inHand = nil
 			return
 		}
 		next, ok := s.w.cache.TryGet(sl.Block)
@@ -267,6 +295,7 @@ func (s *slave) advanceInLoaded(sl *trace.Streamline, ev grid.Evaluator) {
 			// (or Load-rules the block), the I/O has partly happened.
 			s.w.prefetchOnExit(prev, sl)
 			s.byBlock[sl.Block] = append(s.byBlock[sl.Block], sl)
+			s.inHand = nil
 			return
 		}
 		ev = next
@@ -361,9 +390,46 @@ func (s *slave) handle(env comm.Envelope) {
 			s.addStreamline(sl)
 		}
 		s.w.checkMemory("migrated streamlines")
+	case msgRemaster:
+		// Our master died; a sibling was promoted in its place. Report
+		// in so the new master's model of this slave converges.
+		s.master = m.master
+		s.sendStatus(true)
+	case msgPromote:
+		// This slave is the dead master's successor; the transition runs
+		// in the main loop as soon as this handler returns.
+		pm := m
+		s.promoted = &pm
 	case msgTerminate:
 		s.done = true
 	}
+}
+
+// runAsMaster is the failover transition (DESIGN.md §11): this slave
+// stops integrating and takes over its dead master's role, seeded with
+// the salvaged pool and the surviving group. Its own in-progress
+// streamlines restart from seed in the new pool — integration is
+// deterministic from the seed, so the recomputed geometry is identical.
+func (s *slave) runAsMaster(pm msgPromote) {
+	r, w := s.r, s.w
+	ep := w.end.Index()
+	w.stats.MasterFailovers++
+	w.stats.SeedsAdopted += int64(len(pm.recs))
+	recs := append([]seedRec(nil), pm.recs...)
+	for _, b := range sortedBlocks(s.byBlock) {
+		for _, sl := range s.byBlock[b] {
+			recs = append(recs, r.restartRec(sl))
+			w.releaseStreamline(sl)
+		}
+	}
+	w.noteDeactivated(s.active)
+	s.byBlock = nil
+	r.hybSlaves[ep] = nil
+	sortRecs(recs)
+
+	m := newMaster(r, w, ep, r.hybNM, pm.flock, recs)
+	m.resumed = true
+	m.run()
 }
 
 // --- master ---
@@ -402,6 +468,11 @@ type master struct {
 	// Non-coordinator masters forward completions to master 0.
 	done          bool
 	requestedSeed bool // outstanding seed request to a peer
+
+	// resumed marks a master built by failover promotion: it skips the
+	// initial assignment (its slaves already hold work) and rechecks the
+	// completion ledger on entry.
+	resumed bool
 }
 
 func newMaster(r *runState, w *worker, index, nm int, group []int, pool []seedRec) *master {
@@ -423,8 +494,12 @@ func newMaster(r *runState, w *worker, index, nm int, group []int, pool []seedRe
 		m.order = append(m.order, ep)
 	}
 	sort.Ints(m.order)
+	// Split released from future seeds relative to the current clock:
+	// zero at build time (where release > 0 means future, as before),
+	// mid-run for a failover promotion adopting a dead master's pool.
+	now := w.proc.Now()
 	for _, rec := range pool {
-		if rec.release > 0 {
+		if rec.release > now {
 			m.future = append(m.future, rec)
 			continue
 		}
@@ -440,8 +515,22 @@ func newMaster(r *runState, w *worker, index, nm int, group []int, pool []seedRe
 	if index == 0 {
 		m.totalSeeds = len(r.prob.Seeds)
 	}
+	r.hybMasters[index] = m
 	return m
 }
+
+// coordEP returns the current completion coordinator's endpoint: always
+// master 0 without faults; under a fault plan the lowest live master
+// endpoint, re-derived by the recovery layer after each death.
+func (m *master) coordEP() int {
+	if m.r.faultsOn {
+		return m.r.coordEP
+	}
+	return 0
+}
+
+// isCoord reports whether this master aggregates global completion.
+func (m *master) isCoord() bool { return m.index == m.coordEP() }
 
 // releaseDue moves every future seed whose release time has arrived
 // into the assignable pool, reporting whether any moved.
@@ -461,14 +550,32 @@ func (m *master) releaseDue() bool {
 func (m *master) run() {
 	defer func() { m.w.stats.EndTime = m.w.proc.Now() }()
 
-	// Initial allocation: every slave receives N seeds through the
-	// Assign-unloaded rule.
-	for _, ep := range m.order {
-		m.assignSeeds(m.slaves[ep], grid.NoBlock)
-	}
-	if m.index == 0 && m.totalSeeds == 0 {
-		m.terminate()
-		return
+	if m.resumed {
+		// Failover: the flock already holds work and will report in via
+		// the statuses their msgRemaster triggers. Fold in any salvaged
+		// seeds whose release already passed, then recheck the ledger —
+		// the death may have eaten the last completion trigger.
+		m.releaseDue()
+		m.applyRules(false)
+		// A candidate promoted with an empty flock cannot integrate its
+		// salvage; hand it to a group that can.
+		m.shedIfSlaveless()
+		if m.isCoord() {
+			m.onCompleted(0)
+			if m.done {
+				return
+			}
+		}
+	} else {
+		// Initial allocation: every slave receives N seeds through the
+		// Assign-unloaded rule.
+		for _, ep := range m.order {
+			m.assignSeeds(m.slaves[ep], grid.NoBlock)
+		}
+		if m.index == 0 && m.totalSeeds == 0 {
+			m.terminate()
+			return
+		}
 	}
 
 	for !m.done {
@@ -512,6 +619,13 @@ func (m *master) run() {
 				}
 			}
 			m.applyRules(false)
+			m.shedIfSlaveless()
+		case msgStreamlines:
+			m.onMigrated(msg)
+		case msgSlaveDead:
+			m.onSlaveDead(msg.ep)
+		case msgAdoptPool:
+			m.addRecs(msg.recs, msg.fresh)
 		case msgAllDone:
 			m.terminate()
 		}
@@ -526,8 +640,26 @@ func (m *master) terminate() {
 	m.done = true
 }
 
-// onCompleted aggregates global completion counts on master 0.
+// onCompleted aggregates global completion counts on the coordinator.
+// Under a fault plan the run's durable ledger is authoritative — a death
+// can eat in-flight deltas, but a completion lands in the ledger before
+// its trigger is sent, so rereading the total never undercounts.
 func (m *master) onCompleted(count int) {
+	if m.r.faultsOn {
+		if !m.isCoord() {
+			return
+		}
+		m.totalCompleted = m.r.completedTotal
+		if m.totalCompleted >= len(m.r.prob.Seeds) {
+			for _, ep := range m.r.masterEPs {
+				if ep != m.index && m.r.running(ep) {
+					m.w.end.Send(ep, msgAllDone{})
+				}
+			}
+			m.terminate()
+		}
+		return
+	}
 	m.totalCompleted += count
 	if m.totalCompleted >= m.totalSeeds {
 		// Tell the other masters; each shuts down its own slaves.
@@ -543,7 +675,22 @@ func (m *master) onCompleted(count int) {
 func (m *master) onStatus(st msgStatus) {
 	rec, ok := m.slaves[st.slave]
 	if !ok {
-		return
+		// A remastered slave's first status can arrive before this
+		// (promoted) master modeled it; adopt live reporters, ignore
+		// stale statuses from the dead.
+		if !m.r.faultsOn || !m.r.running(st.slave) {
+			return
+		}
+		rec = &slaveRec{
+			ep:       st.slave,
+			perBlock: make(map[grid.BlockID]int),
+			loaded:   make(map[grid.BlockID]bool),
+		}
+		m.slaves[st.slave] = rec
+		i := sort.SearchInts(m.order, st.slave)
+		m.order = append(m.order, 0)
+		copy(m.order[i+1:], m.order[i:])
+		m.order[i] = st.slave
 	}
 	rec.active = st.active
 	rec.perBlock = st.perBlock
@@ -555,13 +702,13 @@ func (m *master) onStatus(st msgStatus) {
 	rec.hintOutstanding = false
 
 	if st.completedDelta > 0 {
-		if m.index == 0 {
+		if m.isCoord() {
 			m.onCompleted(st.completedDelta)
 			if m.done {
 				return
 			}
 		} else {
-			m.w.end.Send(0, msgDone{count: st.completedDelta})
+			m.w.end.Send(m.coordEP(), msgDone{count: st.completedDelta})
 		}
 	}
 	// A fresh status re-arms master-to-master seed requests.
@@ -585,12 +732,115 @@ func (m *master) applyRules(allowSeedRequest bool) {
 			assignedAny = true
 		}
 	}
-	// Group ran dry: ask a peer master for spare seeds.
-	if allowSeedRequest && !assignedAny && m.poolCount == 0 && m.nm > 1 && !m.requestedSeed && m.anyNeedsWork() {
-		peer := (m.index + 1 + m.rng.Intn(m.nm-1)) % m.nm
-		m.w.end.Send(peer, msgSeedRequest{from: m.index})
-		m.requestedSeed = true
+	// Group ran dry: ask a peer master for spare seeds. Under a fault
+	// plan the peer set is the live master endpoints (promoted masters
+	// included, dead ones excluded); without faults it is the original
+	// ring, drawn with the original rng sequence.
+	if allowSeedRequest && !assignedAny && m.poolCount == 0 && !m.requestedSeed && m.anyNeedsWork() {
+		if m.r.faultsOn {
+			var peers []int
+			for _, ep := range m.r.masterEPs {
+				if ep != m.index && m.r.running(ep) {
+					peers = append(peers, ep)
+				}
+			}
+			if len(peers) > 0 {
+				peer := peers[m.rng.Intn(len(peers))]
+				m.w.end.Send(peer, msgSeedRequest{from: m.index})
+				m.requestedSeed = true
+			}
+		} else if m.nm > 1 {
+			peer := (m.index + 1 + m.rng.Intn(m.nm-1)) % m.nm
+			m.w.end.Send(peer, msgSeedRequest{from: m.index})
+			m.requestedSeed = true
+		}
 	}
+}
+
+// addRecs folds adopted seed records into the pool, respecting each
+// record's release time against the current clock, then supplies needy
+// slaves. fresh marks records orphaned by a death (counted as adopted)
+// as opposed to a bookkeeping transfer from a slaveless peer.
+func (m *master) addRecs(recs []seedRec, fresh bool) {
+	now := m.w.proc.Now()
+	for _, rec := range recs {
+		if rec.release > now {
+			m.future = append(m.future, rec)
+			continue
+		}
+		m.pool[rec.block] = append(m.pool[rec.block], rec)
+		m.poolCount++
+	}
+	sort.Slice(m.future, func(i, j int) bool {
+		if m.future[i].release != m.future[j].release {
+			return m.future[i].release < m.future[j].release
+		}
+		return m.future[i].id < m.future[j].id
+	})
+	if fresh {
+		m.w.stats.SeedsAdopted += int64(len(recs))
+	}
+	m.applyRules(false)
+	m.shedIfSlaveless()
+}
+
+// onMigrated rewinds streamlines that arrived at this endpoint while its
+// promotion was in flight (a peer's offload aimed at the slave it used
+// to be) and pools them as restartable seeds.
+func (m *master) onMigrated(msg msgStreamlines) {
+	recs := make([]seedRec, 0, len(msg.sls))
+	for _, sl := range msg.sls {
+		recs = append(recs, m.r.restartRec(sl))
+	}
+	sortRecs(recs)
+	m.addRecs(recs, false)
+}
+
+// onSlaveDead drops a dead slave from the model; its streamlines come
+// back separately as a msgAdoptPool from the recovery layer.
+func (m *master) onSlaveDead(ep int) {
+	if _, ok := m.slaves[ep]; !ok {
+		return
+	}
+	delete(m.slaves, ep)
+	for i, e := range m.order {
+		if e == ep {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.applyRules(false)
+	m.shedIfSlaveless()
+}
+
+// shedIfSlaveless hands this master's remaining seeds to a peer that
+// still has slaves to integrate them, once every slave of its own has
+// died. With no other master left either, the run cannot finish.
+func (m *master) shedIfSlaveless() {
+	if !m.r.faultsOn || m.done || len(m.order) > 0 || (m.poolCount == 0 && len(m.future) == 0) {
+		return
+	}
+	tgt := -1
+	for _, ep := range m.r.masterEPs {
+		if ep != m.index && m.r.running(ep) {
+			tgt = ep
+			break
+		}
+	}
+	if tgt < 0 {
+		m.r.fail(&faults.UnrecoverableError{
+			Algorithm: string(HybridMS),
+			Proc:      m.index,
+			Time:      m.w.proc.Now(),
+			Reason:    "every slave died; no surviving group can integrate the remaining streamlines",
+		})
+		return
+	}
+	recs := m.r.masterPoolRecs(m)
+	m.pool = make(map[grid.BlockID][]seedRec)
+	m.poolCount = 0
+	m.future = nil
+	m.r.deliverLocal(tgt, msgAdoptPool{recs: recs})
 }
 
 func (m *master) anyNeedsWork() bool {
@@ -827,7 +1077,9 @@ func (m *master) assignSeedsFrom(s *slaveRec, b grid.BlockID) {
 		m.pool[b] = rest
 	}
 	m.poolCount -= n
+	m.w.sendingRecs = batch
 	m.w.end.Send(s.ep, msgAssign{recs: batch, block: b})
+	m.w.sendingRecs = nil
 	s.active += n
 	s.perBlock[b] += n
 	s.loaded[b] = true
@@ -861,5 +1113,7 @@ func (m *master) onSeedRequest(from int) {
 			m.poolCount -= take
 		}
 	}
+	m.w.sendingRecs = share
 	m.w.end.Send(from, msgSeedShare{recs: share})
+	m.w.sendingRecs = nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/comm"
 	"repro/internal/sim"
 )
 
@@ -24,6 +25,7 @@ import (
 func (r *runState) buildOnDemand() {
 	n := r.cfg.Procs
 	recs := r.seedRecords() // already grouped by block for locality
+	r.odPools = make([]*pool, n)
 
 	for i := 0; i < n; i++ {
 		i := i
@@ -40,11 +42,17 @@ func (r *runState) buildOnDemand() {
 
 // onDemandWorker is the per-processor body of the Load On Demand
 // algorithm: drain the workable streamlines, read the most-wanted block
-// when none are, finish when everything terminated.
+// when none are, finish when everything terminated. Without a fault
+// plan a worker terminates independently when its own split is done (no
+// communication at all, per the paper); under a fault plan it stays
+// alive until the run's completion ledger reaches the seed total — a
+// later death may orphan work only this processor can adopt — handling
+// adoption (msgAdopt) and release (msgAllDone) envelopes meanwhile.
 func (r *runState) onDemandWorker(w *worker, mine []seedRec) {
 	defer func() { w.stats.EndTime = w.proc.Now() }()
 
 	pl := newPool(r, w)
+	r.odPools[w.end.Index()] = pl
 	for _, rec := range mine {
 		pl.adopt(rec.streamline())
 	}
@@ -52,7 +60,33 @@ func (r *runState) onDemandWorker(w *worker, mine []seedRec) {
 		return
 	}
 
-	for pl.active > 0 && !r.failed() {
+	done := false
+	handle := func(env comm.Envelope) {
+		switch m := env.Payload.(type) {
+		case msgAdopt:
+			for _, rec := range m.recs {
+				pl.adopt(rec.streamline())
+			}
+			w.stats.SeedsAdopted += int64(len(m.recs))
+			w.checkMemory("adopted streamlines")
+		case msgAllDone:
+			done = true
+		}
+	}
+
+	for !r.failed() {
+		if r.faultsOn {
+			for {
+				env, ok := w.end.TryRecv()
+				if !ok {
+					break
+				}
+				handle(env)
+			}
+			if done {
+				return
+			}
+		}
 		pl.releaseReady()
 		if len(pl.workable) > 0 {
 			pl.advanceOne()
@@ -64,18 +98,28 @@ func (r *runState) onDemandWorker(w *worker, mine []seedRec) {
 			pl.loadBest()
 			continue
 		}
-		// Every released streamline is done; the rest of the split is
-		// still parked on the injection schedule. Nothing arrives over
-		// the network in this algorithm, so the stall always runs to the
-		// release deadline.
-		next, ok := pl.nextRelease()
-		if !ok {
+		if next, ok := pl.nextRelease(); ok {
+			// Every released streamline here is done; the rest of the
+			// split waits on the injection schedule. An adoption can
+			// still arrive mid-stall under a fault plan.
+			if env, got := w.stallForRelease(next); got {
+				handle(env)
+			}
+			continue
+		}
+		if pl.active > 0 {
 			// active > 0 with nothing resident anywhere: impossible
 			// unless bookkeeping broke.
 			r.fail(fmt.Errorf("core: worker %s stuck with %d active streamlines",
 				w.proc.Name(), pl.active))
 			return
 		}
-		w.stallForRelease(next)
+		if !r.faultsOn {
+			return // own split done; no communication in this algorithm
+		}
+		if r.completedTotal == len(r.prob.Seeds) {
+			return
+		}
+		handle(w.end.Recv())
 	}
 }

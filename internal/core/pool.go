@@ -29,6 +29,11 @@ type pool struct {
 	workable []*trace.Streamline
 	parked   parkHeap
 	active   int
+
+	// inHand is the streamline popped from workable while its advance's
+	// compute charge elapses — in neither list, so the fault-recovery
+	// salvage must read it here if the processor dies mid-advance.
+	inHand *trace.Streamline
 }
 
 func newPool(r *runState, w *worker) *pool {
@@ -121,12 +126,14 @@ func (pl *pool) advanceOne() (terminated bool) {
 		return false
 	}
 	prev := sl.Block
+	pl.inHand = sl
 	if sl.Steps >= pl.r.prob.maxSteps() {
 		sl.Status = trace.MaxedOut
 	} else {
 		pl.w.advance(sl, ev, pl.r.prob.Provider.Decomp().Bounds(sl.Block))
 	}
 	if !pl.w.checkMemory("streamline geometry") {
+		pl.inHand = nil
 		return false
 	}
 	if !sl.Status.Terminated() && !pl.w.cache.Has(sl.Block) {
@@ -138,9 +145,11 @@ func (pl *pool) advanceOne() (terminated bool) {
 	if sl.Status.Terminated() {
 		pl.r.complete(pl.w, sl)
 		pl.active--
+		pl.inHand = nil
 		return true
 	}
 	pl.place(sl)
+	pl.inHand = nil
 	return false
 }
 

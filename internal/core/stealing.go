@@ -50,8 +50,13 @@ type msgStealMiss struct{}
 func (msgStealMiss) Bytes() int64 { return 8 }
 
 // msgToken is the termination token: counts[i] is the last completion
-// count processor i wrote while holding it.
-type msgToken struct{ counts []int64 }
+// count processor i wrote while holding it. regen marks a token the
+// recovery layer rebuilt after the previous one died with its holder
+// (counted as RingReforms by the receiver).
+type msgToken struct {
+	counts []int64
+	regen  bool
+}
 
 // Bytes implements comm.Message.
 func (m msgToken) Bytes() int64 { return 16 + int64(len(m.counts))*8 }
@@ -61,6 +66,7 @@ func (m msgToken) Bytes() int64 { return 16 + int64(len(m.counts))*8 }
 func (r *runState) buildStealing() {
 	n := r.cfg.Procs
 	recs := r.seedRecords() // block-grouped, exactly like Load On Demand
+	r.thieves = make([]*thief, n)
 
 	for i := 0; i < n; i++ {
 		i := i
@@ -96,6 +102,7 @@ type thief struct {
 
 	// Probe state for one hungry round.
 	outstanding bool  // a probe is in flight, await its reply
+	probeVictim int   // target of the outstanding probe
 	probesLeft  int   // probes remaining before going quiet
 	fanout      int   // resolved probe budget per round
 	order       []int // victim order (random policy: fresh permutation per round)
@@ -130,8 +137,10 @@ func newThief(r *runState, w *worker, me, n int) *thief {
 		// position, not a coordinator: every processor treats it alike.
 		t.holding = true
 		t.counts = make([]int64, n)
+		r.tokenHolder = 0
 	}
 	t.resetProbes()
+	r.thieves[me] = t
 	return t
 }
 
@@ -140,6 +149,13 @@ func newThief(r *runState, w *worker, me, n int) *thief {
 func (t *thief) run(mine []seedRec) {
 	defer func() { t.w.stats.EndTime = t.w.proc.Now() }()
 
+	if t.r.faultsOn {
+		// Watch every peer: a Death notification prunes the probe set
+		// and cancels a probe whose reply will never come.
+		for _, p := range t.peers {
+			t.w.end.WatchPeer(p)
+		}
+	}
 	for _, rec := range mine {
 		t.pool.adopt(rec.streamline())
 	}
@@ -220,6 +236,10 @@ func (t *thief) handle(env comm.Envelope) {
 		// a miss only frees the thief to try the next victim.
 		t.outstanding = false
 	case msgToken:
+		if m.regen {
+			t.w.stats.RingReforms++
+		}
+		t.r.tokenHolder = t.me
 		t.counts = m.counts
 		t.holding = true
 		t.resetProbes()
@@ -230,9 +250,41 @@ func (t *thief) handle(env comm.Envelope) {
 			// drains (see the main loop for why parked work must hold).
 			t.passToken()
 		}
+	case msgAdopt:
+		// A dead peer's streamlines, restarted from seed by the
+		// recovery layer and re-homed here.
+		for _, rec := range m.recs {
+			t.pool.adopt(rec.streamline())
+		}
+		t.w.stats.SeedsAdopted += int64(len(m.recs))
+		t.resetProbes()
+		t.w.checkMemory("adopted streamlines")
+	case comm.Death:
+		t.dropPeer(m.Peer)
 	case msgAllDone:
 		t.done = true
 	}
+}
+
+// dropPeer prunes a dead peer from the probe set, resizes the fanout to
+// the surviving ring, and cancels a probe outstanding against it (its
+// reply will never come).
+func (t *thief) dropPeer(peer int) {
+	for i, p := range t.peers {
+		if p == peer {
+			t.peers = append(t.peers[:i], t.peers[i+1:]...)
+			break
+		}
+	}
+	f := t.r.cfg.Steal.Fanout
+	if f <= 0 || f > len(t.peers) {
+		f = len(t.peers)
+	}
+	t.fanout = f
+	if t.outstanding && t.probeVictim == peer {
+		t.outstanding = false
+	}
+	t.resetProbes()
 }
 
 // --- stealing ---
@@ -263,6 +315,7 @@ func (t *thief) probe() {
 	}
 	t.probesLeft--
 	t.outstanding = true
+	t.probeVictim = victim
 	t.w.stats.StealAttempts++
 	t.w.end.Send(victim, msgStealReq{})
 }
@@ -324,6 +377,18 @@ func (t *thief) pickLoot() []*trace.Streamline {
 // forwards the token around the ring.
 func (t *thief) passToken() {
 	t.counts[t.me] = t.completed
+	if t.r.faultsOn {
+		// A dead processor can never write its own entry again, so fold
+		// the ledger's record of its completions into the token —
+		// otherwise a token written before the victim's last completions
+		// would circulate with a stale entry and the sum could never
+		// reach the total. Counts are monotone; overwriting is safe.
+		for i, th := range t.r.thieves {
+			if i != t.me && th != nil && t.r.procs[i].Failed() && th.completed > t.counts[i] {
+				t.counts[i] = th.completed
+			}
+		}
+	}
 	var sum int64
 	for _, c := range t.counts {
 		sum += c
@@ -331,6 +396,7 @@ func (t *thief) passToken() {
 	if sum == int64(len(t.r.prob.Seeds)) {
 		t.w.end.Broadcast(msgAllDone{})
 		t.done = true
+		t.r.tokenHolder = -1
 		return
 	}
 	if t.n == 1 {
@@ -339,7 +405,21 @@ func (t *thief) passToken() {
 		t.r.fail(fmt.Errorf("core: stealing token count %d of %d on a single processor", sum, len(t.r.prob.Seeds)))
 		return
 	}
+	next := (t.me + 1) % t.n
+	if t.r.faultsOn {
+		// Re-form the ring around dead peers: pass to the next live
+		// processor. The token stays attributed to this holder until the
+		// send completes, so a death mid-post regenerates it correctly.
+		next = t.r.nextRunning(t.me)
+		if next < 0 {
+			// Every peer is gone and the sum still falls short: work was
+			// lost, which the salvage layer must make impossible.
+			t.r.fail(fmt.Errorf("core: stealing token count %d of %d with no live peer", sum, len(t.r.prob.Seeds)))
+			return
+		}
+	}
 	t.holding = false
 	t.w.stats.TokensPassed++
-	t.w.end.Send((t.me+1)%t.n, msgToken{counts: t.counts})
+	t.w.end.Send(next, msgToken{counts: t.counts})
+	t.r.tokenHolder = -1
 }

@@ -104,6 +104,15 @@ type Scale struct {
 	// InjectRate is the rate-limited injection schedule's release rate
 	// in seeds per virtual second.
 	InjectRate float64
+	// FaultTime is the virtual second at which fault-injecting cells
+	// (DESIGN.md §11) lose their victims; calibrated per scale to land
+	// mid-run, so the dead processors hold real in-flight work. Cells
+	// whose Key carries no fault mode ignore it.
+	FaultTime float64
+	// FaultProcs is how many processors the kill scenario takes (the
+	// lowest ranks — processor 0 is the hybrid coordinator and the
+	// stealing ring's initial token holder, the worst-case victims).
+	FaultProcs int
 }
 
 // ScaleByName resolves a scale name as used by the sl* commands' -scale
@@ -148,6 +157,10 @@ func PaperScale() Scale {
 		InjectWindow: 10,
 		InjectWaves:  4,
 		InjectRate:   2000,
+		// Paper-scale runs last tens of virtual seconds; killing at 5 s
+		// takes the victims while most streamlines are still in flight.
+		FaultTime:  5,
+		FaultProcs: 1,
 	}
 }
 
@@ -187,6 +200,12 @@ func DefaultScale() Scale {
 	s.InjectWindow = 1
 	s.InjectWaves = 4
 	s.InjectRate = 2000
+	// The fastest fault-injecting cells (astro sparse at the top of the
+	// processor sweep) finish in ~0.3 virtual seconds; killing at 0.1 s
+	// lands inside every cell's first half, mid-run even for the
+	// quickest.
+	s.FaultTime = 0.1
+	s.FaultProcs = 1
 	return s
 }
 
@@ -214,6 +233,8 @@ func SmallScale() Scale {
 		InjectWindow:      0.2,
 		InjectWaves:       4,
 		InjectRate:        1000,
+		FaultTime:         0.05, // small cells run a few tenths of a virtual second
+		FaultProcs:        1,
 	}
 }
 
@@ -411,7 +432,8 @@ func UnsteadyMachineConfig(alg core.Algorithm, procs int, sc Scale, tslices int)
 
 // KeyMachineConfig builds the cluster configuration a campaign cell
 // runs: MachineConfig (or its unsteady variant), with the key's prefetch
-// policy applied at the scale's lookahead depth.
+// policy applied at the scale's lookahead depth and the key's fault
+// mode materialized into the scale's kill schedule.
 func KeyMachineConfig(k Key, sc Scale) core.Config {
 	cfg := MachineConfig(k.Alg, k.Procs, sc)
 	if k.Unsteady {
@@ -419,6 +441,9 @@ func KeyMachineConfig(k Key, sc Scale) core.Config {
 	}
 	if k.Prefetch.Enabled() {
 		cfg.Prefetch = prefetch.Config{Policy: k.Prefetch, Depth: sc.PrefetchDepth}
+	}
+	if k.Faults.Enabled() {
+		cfg.Faults = sc.FaultPlan(k.Faults, k.Procs)
 	}
 	return cfg
 }
@@ -442,6 +467,10 @@ type Key struct {
 	// "t0"/"off") releases every seed at time zero, the paper's
 	// workload.
 	Injection Injection
+	// Faults selects the processor-loss scenario of the cell
+	// (DESIGN.md §11), materialized by Scale.FaultPlan. The zero value
+	// (and "off") runs fault-free, the paper's workload.
+	Faults FaultMode
 }
 
 // normalized maps the equivalent no-prefetch spellings ("" and
@@ -453,12 +482,14 @@ func (k Key) normalized() Key {
 		k.Prefetch = ""
 	}
 	k.Injection = k.Injection.normalized()
+	k.Faults = k.Faults.normalized()
 	return k
 }
 
 // Label renders the key the way tables list runs; unsteady (pathline)
 // cells carry a "u:" prefix, staggered-injection cells an
-// "+i:<schedule>" suffix, prefetching cells a "+pf:<policy>" suffix.
+// "+i:<schedule>" suffix, prefetching cells a "+pf:<policy>" suffix,
+// fault-injecting cells a "+f:<mode>" suffix.
 func (k Key) Label() string {
 	prefix := ""
 	if k.Unsteady {
@@ -470,6 +501,9 @@ func (k Key) Label() string {
 	}
 	if k.Prefetch.Enabled() {
 		suffix += "+pf:" + string(k.Prefetch)
+	}
+	if k.Faults.Enabled() {
+		suffix += "+f:" + string(k.Faults)
 	}
 	return fmt.Sprintf("%s%s/%s/%s/%d%s", prefix, k.Dataset, k.Seeding, k.Alg, k.Procs, suffix)
 }
@@ -514,6 +548,10 @@ type Campaign struct {
 	// emit every cell with that seed-release schedule — the slbench
 	// -inject mode. Explicitly-built Keys are unaffected.
 	Injection Injection
+	// Faults, when an enabled mode, makes the key enumerators emit
+	// every cell under that processor-loss scenario — the slbench
+	// -faults mode. Explicitly-built Keys are unaffected.
+	Faults FaultMode
 
 	mu       sync.Mutex
 	results  map[Key]Outcome
@@ -667,7 +705,8 @@ func (c *Campaign) DatasetKeys(ds Dataset) []Key {
 		for _, alg := range core.Algorithms() {
 			for _, procs := range c.Scale.ProcCounts {
 				keys = append(keys, Key{Dataset: ds, Seeding: seeding, Alg: alg, Procs: procs,
-					Unsteady: c.Unsteady, Prefetch: pf, Injection: c.Injection.normalized()})
+					Unsteady: c.Unsteady, Prefetch: pf, Injection: c.Injection.normalized(),
+					Faults: c.Faults.normalized()})
 			}
 		}
 	}
@@ -760,7 +799,8 @@ func (c *Campaign) FigureRows(fig Figure) []metrics.TableRow {
 // figure's own metric, plus the epoch-crossing count when the campaign
 // runs unsteady (pathline) cells, plus the hidden-I/O and hit/issue
 // columns when it runs prefetching cells, plus the active-peak and
-// release-stall columns when it runs staggered-injection cells.
+// release-stall columns when it runs staggered-injection cells, plus
+// the loss/recovery columns when it runs fault-injecting cells.
 func (c *Campaign) FigureColumns(fig Figure) []string {
 	cols := []string{fig.Metric}
 	if c.Unsteady {
@@ -771,6 +811,9 @@ func (c *Campaign) FigureColumns(fig Figure) []string {
 	}
 	if c.Injection.Enabled() {
 		cols = append(cols, "apeak", "rstalls")
+	}
+	if c.Faults.Enabled() {
+		cols = append(cols, "lost", "adopted", "reforms", "failovers", "sendfail")
 	}
 	return cols
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/prefetch"
 	"repro/internal/trace"
 )
@@ -23,16 +25,19 @@ import (
 // digests — that is the regression this test exists to catch.
 var updateGoldens = flag.Bool("update", false, "rewrite the golden geometry digests")
 
-// goldenScale is a trimmed configuration so the 96 runs (3 datasets ×
-// {steady, unsteady} × 4 algorithms × prefetch {off, both} × injection
-// {t0, stagger}) stay test-suite fast while still crossing blocks,
-// epochs and processor boundaries.
+// goldenScale is a trimmed configuration so the 120 runs (3 datasets ×
+// {steady, unsteady} × 4 algorithms × (prefetch {off, both} × injection
+// {t0, stagger} + one faulted run)) stay test-suite fast while still
+// crossing blocks, epochs and processor boundaries.
 func goldenScale() Scale {
 	sc := SmallScale()
 	sc.AstroSeeds = 50
 	sc.FusionSeeds = 40
 	sc.ThermalSparseGrid = 3
 	sc.MaxSteps = 250
+	// The trimmed cells finish in a few hundredths of a virtual second;
+	// kill early enough that the loss lands mid-run in every one.
+	sc.FaultTime = 0.005
 	return sc
 }
 
@@ -46,6 +51,10 @@ func goldenScale() Scale {
 // drift fails here first. (Injection reshapes timing and load balance,
 // never the geometry of a particle's path after release — which is why
 // the staggered runs share the t0 goldens rather than having their own.)
+// Fault recovery (DESIGN.md §11) is held to the same standard: losing a
+// processor mid-run must leave every recoverable algorithm's geometry
+// on the unchanged goldens, because adopted streamlines restart from
+// their seeds through the same deterministic integrator.
 //
 // The digests are computed over exact IEEE-754 bits (trace.
 // CanonicalDigest). Go's floating-point evaluation of this code is
@@ -55,7 +64,7 @@ func goldenScale() Scale {
 // commit.
 func TestGoldenDigests(t *testing.T) {
 	if testing.Short() {
-		t.Skip("96 simulations too slow for -short")
+		t.Skip("120 simulations too slow for -short")
 	}
 	sc := goldenScale()
 	procs := 8
@@ -103,6 +112,36 @@ func TestGoldenDigests(t *testing.T) {
 								key, variant, digest[:16], refAlg, ref[:16])
 						}
 					}
+				}
+			}
+
+			// The faults dimension: one kill-scenario run per algorithm
+			// against the same checked-in digests. The recoverable three
+			// must survive the loss of processor 0 — the hybrid
+			// coordinator and the stealing ring's initial token holder —
+			// with bit-identical geometry; static allocation must fail
+			// with its typed error rather than produce drifted results.
+			for _, alg := range core.Algorithms() {
+				cfg := KeyMachineConfig(Key{Dataset: ds, Seeding: Sparse, Alg: alg,
+					Procs: procs, Unsteady: unsteady, Faults: FaultsKill}, sc)
+				cfg.CollectTraces = true
+				res, err := core.Run(probs[InjectT0], cfg)
+				if alg == core.StaticAlloc {
+					var ue *faults.UnrecoverableError
+					if !errors.As(err, &ue) {
+						t.Errorf("%s: static under faults returned %v, want *faults.UnrecoverableError", key, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s/%s under faults: %v", key, alg, err)
+				}
+				if res.Summary.ProcsLost == 0 {
+					t.Errorf("%s/%s: fault plan never fired (ProcsLost = 0) — the scenario is vacuous", key, alg)
+				}
+				if digest := trace.CanonicalDigest(res.Streamlines); digest != ref {
+					t.Errorf("%s: %s under faults digest %s differs from fault-free %s — recovery changed geometry",
+						key, alg, digest[:16], ref[:16])
 				}
 			}
 			got[key] = ref

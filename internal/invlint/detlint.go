@@ -31,6 +31,7 @@ import (
 var DetPackages = map[string]bool{
 	"repro/internal/sim":         true,
 	"repro/internal/core":        true,
+	"repro/internal/faults":      true,
 	"repro/internal/seeds":       true,
 	"repro/internal/experiments": true,
 	"repro/internal/metrics":     true,

@@ -65,6 +65,21 @@ type ProcStats struct {
 	ReleaseStalls    int64
 	ReleaseStallTime float64
 
+	// Fault-recovery (internal/faults) counters, zero on a reliable
+	// machine: ProcsLost marks the processor itself as a scheduled
+	// casualty (1 on the victim's own record); SeedsAdopted counts
+	// stranded streamlines this processor re-seeded from a dead peer;
+	// RingReforms counts termination tokens this processor regenerated
+	// after the holder died (work stealing); MasterFailovers counts
+	// promotions of this processor from slave to master (hybrid);
+	// SendFailed counts messages dropped because the destination was
+	// already dead.
+	ProcsLost       int64
+	SeedsAdopted    int64
+	RingReforms     int64
+	MasterFailovers int64
+	SendFailed      int64
+
 	// Pathline (unsteady-workload) counters, zero for steady runs:
 	// integration steps taken in time-dependent advection, and epoch
 	// boundaries crossed — each crossing is a block transition that
@@ -154,6 +169,14 @@ type Summary struct {
 	ReleaseStalls    int64
 	ReleaseStallTime float64
 
+	// ProcsLost/SeedsAdopted/RingReforms/MasterFailovers/SendFailed
+	// aggregate the fault-recovery counters (zero on a reliable machine).
+	ProcsLost       int64
+	SeedsAdopted    int64
+	RingReforms     int64
+	MasterFailovers int64
+	SendFailed      int64
+
 	// PathlineSteps/EpochCrossings aggregate the unsteady-workload
 	// counters (zero for steady runs).
 	PathlineSteps  int64
@@ -191,6 +214,11 @@ func (c *Collector) Aggregate() Summary {
 		s.PrefetchHits += p.PrefetchHits
 		s.PrefetchWasted += p.PrefetchWasted
 		s.IOHiddenTime += p.IOHiddenTime
+		s.ProcsLost += p.ProcsLost
+		s.SeedsAdopted += p.SeedsAdopted
+		s.RingReforms += p.RingReforms
+		s.MasterFailovers += p.MasterFailovers
+		s.SendFailed += p.SendFailed
 		s.PathlineSteps += p.PathlineSteps
 		s.EpochCrossings += p.EpochCrossings
 		s.ReleaseStalls += p.ReleaseStalls
@@ -244,7 +272,11 @@ func (s Summary) String() string {
 // pfwaste (prefetched blocks evicted unused), epochs (epoch crossings),
 // psteps (pathline steps), apeak (peak simultaneously active released
 // streamlines on one processor), rstalls (release stalls), rstall-s
-// (virtual seconds parked awaiting scheduled releases).
+// (virtual seconds parked awaiting scheduled releases), lost (processors
+// killed by the fault plan), adopted (streamlines re-seeded from dead
+// peers), reforms (termination tokens regenerated after a holder died),
+// failovers (slave-to-master promotions), sendfail (messages dropped at
+// a dead destination).
 func Table(rows []TableRow, cols []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-28s", "run")
@@ -327,6 +359,16 @@ func (r TableRow) format(col string) string {
 		return fmt.Sprintf("%d", s.ReleaseStalls)
 	case "rstall-s":
 		return fmt.Sprintf("%.3f", s.ReleaseStallTime)
+	case "lost":
+		return fmt.Sprintf("%d", s.ProcsLost)
+	case "adopted":
+		return fmt.Sprintf("%d", s.SeedsAdopted)
+	case "reforms":
+		return fmt.Sprintf("%d", s.RingReforms)
+	case "failovers":
+		return fmt.Sprintf("%d", s.MasterFailovers)
+	case "sendfail":
+		return fmt.Sprintf("%d", s.SendFailed)
 	default:
 		return "?"
 	}

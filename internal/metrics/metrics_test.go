@@ -63,6 +63,13 @@ func TestAggregate(t *testing.T) {
 	c.P(0).ReleaseStalls = 2
 	c.P(2).ReleaseStalls = 3
 	c.P(1).ReleaseStallTime = 0.75
+	c.P(1).ProcsLost = 1
+	c.P(0).SeedsAdopted = 4
+	c.P(2).SeedsAdopted = 3
+	c.P(2).RingReforms = 1
+	c.P(0).MasterFailovers = 2
+	c.P(0).SendFailed = 5
+	c.P(2).SendFailed = 1
 
 	s := c.Aggregate()
 	if s.ActivePeak != 30 {
@@ -106,6 +113,14 @@ func TestAggregate(t *testing.T) {
 	}
 	if s.IOHiddenTime != 0.5 {
 		t.Errorf("IOHiddenTime = %g, want 0.5", s.IOHiddenTime)
+	}
+	if s.ProcsLost != 1 || s.SeedsAdopted != 7 || s.RingReforms != 1 {
+		t.Errorf("fault counters wrong: lost=%d adopted=%d reforms=%d",
+			s.ProcsLost, s.SeedsAdopted, s.RingReforms)
+	}
+	if s.MasterFailovers != 2 || s.SendFailed != 6 {
+		t.Errorf("fault counters wrong: failovers=%d sendfail=%d",
+			s.MasterFailovers, s.SendFailed)
 	}
 }
 

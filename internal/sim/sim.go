@@ -46,13 +46,15 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 // method may be called concurrently with Run except from within process
 // bodies.
 type Kernel struct {
-	now      float64
-	seq      int64
-	events   eventHeap
-	runnable []*Proc
-	procs    []*Proc
-	ctl      chan struct{}
-	running  bool
+	now        float64
+	seq        int64
+	events     eventHeap
+	runnable   []*Proc
+	procs      []*Proc
+	ctl        chan struct{}
+	running    bool
+	halted     bool
+	deadLetter func(to *Proc, msg any)
 }
 
 // New returns an empty kernel at virtual time 0.
@@ -75,8 +77,10 @@ func (k *Kernel) At(t float64, fn func()) {
 // After schedules fn to run d seconds from now.
 func (k *Kernel) After(d float64, fn func()) { k.At(k.now+d, fn) }
 
-// procKilled is the panic payload used to unwind processes that are still
-// blocked when the simulation ends.
+// procKilled is the panic payload used to unwind a process's goroutine:
+// at end of run for processes still blocked, on Kernel.Halt for a
+// deliberately aborted run, and at a scheduled fault instant for
+// processes killed mid-run by Kernel.Fail (see fail.go).
 type procKilled struct{}
 
 // Proc is one simulated processor. Its body function runs on its own
@@ -93,6 +97,9 @@ type Proc struct {
 	wakeSeq uint64
 	done    bool
 	killed  bool
+	failed  bool // killed mid-run by Fail, not end-of-run cleanup
+
+	watchers []watcher
 
 	idleStart float64
 	idleTotal float64
@@ -198,6 +205,16 @@ func (p *Proc) Send(to *Proc, msg any, delay float64) {
 // seconds. It may be called from process bodies or kernel callbacks.
 func (k *Kernel) Deliver(to *Proc, msg any, delay float64) {
 	k.After(delay, func() {
+		if to.failed {
+			// The destination died while the message was in flight.
+			// Hand it to the dead-letter hook so the recovery layer can
+			// salvage any work it carries; without a hook it is lost,
+			// exactly as on a real machine.
+			if k.deadLetter != nil {
+				k.deadLetter(to, msg)
+			}
+			return
+		}
 		to.inbox = append(to.inbox, msg)
 		if to.waiting {
 			to.waiting = false
@@ -296,7 +313,7 @@ func (k *Kernel) Run() error {
 	k.running = true
 	defer func() { k.running = false }()
 
-	for {
+	for !k.halted {
 		if len(k.runnable) > 0 {
 			p := k.runnable[0]
 			k.runnable = k.runnable[1:]
@@ -326,6 +343,11 @@ func (k *Kernel) Run() error {
 			p.resume <- struct{}{}
 			<-k.ctl
 		}
+	}
+	if k.halted {
+		// A deliberate stop (one process aborted the run): unwinding the
+		// survivors is the point, not a deadlock to report.
+		return nil
 	}
 	if len(stuck) > 0 {
 		sort.Strings(stuck)
@@ -387,11 +409,17 @@ func (r *Resource) TryAcquire() bool {
 
 // Release frees one slot and hands it to the next queued waiter, if
 // any: the slot transfers directly (inUse is unchanged) and the waiting
-// process is woken.
+// process is woken. Waiters that died in the queue are skipped — a slot
+// must never be granted to a dead process, or it would leak for the
+// rest of the run. A holder that dies releases its slot through its
+// deferred cleanup as the procKilled panic unwinds (see Kernel.Fail).
 func (r *Resource) Release() {
-	if len(r.queue) > 0 {
+	for len(r.queue) > 0 {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
+		if next.p.done || next.p.killed {
+			continue
+		}
 		next.p.idleTotal += r.k.now - next.p.idleStart
 		r.k.wake(next.p, next.seq)
 		return

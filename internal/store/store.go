@@ -52,11 +52,16 @@ func (d DiskModel) Read(p *sim.Proc, bytes int64, stats *metrics.ProcStats) {
 	start := p.Now()
 	if d.Shared != nil {
 		d.Shared.Acquire(p)
+		// Deferred so the slot is released even if p is killed by a
+		// scheduled fault while the transfer sleeps: the procKilled
+		// unwind runs this at the fault instant, and the next queued
+		// reader is granted the server a dead processor can no longer
+		// use.
+		defer d.Shared.Release()
 		if stats != nil {
 			stats.IOQueueTime += p.Now() - start
 		}
 		p.Sleep(d.ReadTime(bytes))
-		d.Shared.Release()
 	} else {
 		p.Sleep(d.ReadTime(bytes))
 	}
