@@ -620,3 +620,34 @@ func BenchmarkUnsteadyCampaign(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAdvectDispatch prices the field-evaluator inner loop both
+// ways on the same thermal streamline: through the integrate.Evaluator
+// interface (the pre-§12 inner loop) and through the generic
+// instantiation core's workers now select (DESIGN.md §12). The gap is
+// the cost of dynamic dispatch per RK stage — the generic path lets the
+// field's Eval inline into the stepper.
+func BenchmarkAdvectDispatch(b *testing.B) {
+	f := field.DefaultThermalHydraulics()
+	s := integrate.NewDoPri5(integrate.Options{Tol: 1e-6, HMax: 0.01})
+	lim := integrate.AdvectLimits{Bounds: f.Bounds(), MaxSteps: 512}
+	seed := vec.Of(0.05, 0.43, 0.56)
+	b.Run("interface", func(b *testing.B) {
+		var buf []vec.V3
+		for i := 0; i < b.N; i++ {
+			s.H = 0
+			lim.Buf = buf
+			res := s.Advect(f, seed, 0, lim)
+			buf = res.Points[:0]
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		var buf []vec.V3
+		for i := 0; i < b.N; i++ {
+			s.H = 0
+			lim.Buf = buf
+			res := integrate.AdvectWith(s, f, seed, 0, lim)
+			buf = res.Points[:0]
+		}
+	})
+}

@@ -34,6 +34,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,21 +51,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("slbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		scaleName = fs.String("scale", "default", "campaign scale: small, default, or paper")
-		figureID  = fs.Int("figure", 0, "run a single figure (5-16); 0 means all")
-		dataset   = fs.String("dataset", "", "restrict to one dataset: astro, fusion, thermal")
-		csv       = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonOut   = fs.Bool("json", false, "emit one machine-readable JSON report instead of tables (the BENCH_*.json schema)")
-		verbose   = fs.Bool("v", false, "log every run as it completes")
-		shapes    = fs.Bool("shapes", false, "verify the paper's qualitative claims and report")
-		jobs      = fs.Int("j", 0, "sweep cells to run concurrently; 0 means one per CPU core")
-		unsteady  = fs.Bool("unsteady", false, "run the figure sweeps as pathline (time-sliced) campaigns")
-		tslices   = fs.Int("tslices", 0, "stored time slices for unsteady cells (0 = scale default)")
-		pfPolicy  = fs.String("prefetch", "off", "run every cell with predictive block prefetching: off, neighbor, temporal, or both (DESIGN.md §8)")
-		pfDepth   = fs.Int("prefetch-depth", 0, "lookahead per prefetch predictor (0 = scale default)")
-		injName   = fs.String("inject", "off", "run every cell with a seed-release schedule: off (all at t0), stagger, burst, or rate (DESIGN.md §9)")
-		injWaves  = fs.Int("inject-waves", 0, "release waves for the burst injection schedule (0 = scale default)")
-		faultsStr = fs.String("faults", "off", "run every cell under a processor-loss scenario: off or kill (DESIGN.md §11)")
+		scaleName  = fs.String("scale", "default", "campaign scale: small, default, or paper")
+		figureID   = fs.Int("figure", 0, "run a single figure (5-16); 0 means all")
+		dataset    = fs.String("dataset", "", "restrict to one dataset: astro, fusion, thermal")
+		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut    = fs.Bool("json", false, "emit one machine-readable JSON report instead of tables (the BENCH_*.json schema)")
+		verbose    = fs.Bool("v", false, "log every run as it completes")
+		shapes     = fs.Bool("shapes", false, "verify the paper's qualitative claims and report")
+		jobs       = fs.Int("j", 0, "sweep cells to run concurrently; 0 means one per CPU core")
+		unsteady   = fs.Bool("unsteady", false, "run the figure sweeps as pathline (time-sliced) campaigns")
+		tslices    = fs.Int("tslices", 0, "stored time slices for unsteady cells (0 = scale default)")
+		pfPolicy   = fs.String("prefetch", "off", "run every cell with predictive block prefetching: off, neighbor, temporal, or both (DESIGN.md §8)")
+		pfDepth    = fs.Int("prefetch-depth", 0, "lookahead per prefetch predictor (0 = scale default)")
+		injName    = fs.String("inject", "off", "run every cell with a seed-release schedule: off (all at t0), stagger, burst, or rate (DESIGN.md §9)")
+		injWaves   = fs.Int("inject-waves", 0, "release waves for the burst injection schedule (0 = scale default)")
+		faultsStr  = fs.String("faults", "off", "run every cell under a processor-loss scenario: off or kill (DESIGN.md §11)")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof allocation profile (after the campaign) to this file")
+		compare    = fs.String("compare", "", "check this run against a checked-in BENCH_*.json trajectory file: exit 1 on schema drift, warn (only) when throughput fell >25% below it")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -187,13 +191,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// processor count; fold those cells into the same batch.
 		keys = append(keys, experiments.ShapeKeys(c)...)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "slbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "slbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 	started := time.Now()
 	c.RunKeys(keys)
 	elapsed := time.Since(started)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "slbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(stderr, "slbench: %v\n", err)
+			return 1
+		}
+	}
 
 	var report []experiments.ShapeResult
 	if *shapes {
 		report = experiments.CheckShapes(c)
+	}
+
+	if *compare != "" {
+		if err := compareTrajectory(stderr, c, sc.Name, selected, *compare, elapsed); err != nil {
+			fmt.Fprintf(stderr, "slbench: %v\n", err)
+			return 1
+		}
 	}
 
 	if *jsonOut {
@@ -293,6 +329,76 @@ type jsonHost struct {
 	GoVersion      string  `json:"go_version"`
 	CPUs           int     `json:"cpus"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// compareTrajectory validates a checked-in BENCH_*.json trajectory file
+// against the run that just finished. Schema drift — the file does not
+// parse, carries a different schema version, or has structurally invalid
+// rows — is an error (the caller exits non-zero): it means the trajectory
+// must be regenerated before it can anchor regressions. The throughput
+// smoke is warn-only: wall-time throughput (simulated steps per host
+// second) more than 25% below the trajectory's prints a warning, because
+// CI hosts vary too much for a hard gate.
+func compareTrajectory(stderr io.Writer, c *experiments.Campaign, scale string, figs []experiments.Figure, path string, elapsed time.Duration) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var base jsonReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("compare: %s is not valid JSON: %w", path, err)
+	}
+	if base.Schema != benchSchema {
+		return fmt.Errorf("compare: schema drift: %s has %q, this binary emits %q — regenerate the trajectory", path, base.Schema, benchSchema)
+	}
+	if len(base.Figures) == 0 {
+		return fmt.Errorf("compare: schema drift: %s has no figures", path)
+	}
+	var baseSteps int64
+	for _, f := range base.Figures {
+		if len(f.Rows) == 0 {
+			return fmt.Errorf("compare: schema drift: %s figure %d has no rows", path, f.ID)
+		}
+		for _, row := range f.Rows {
+			if (row.Summary == nil) == (row.Error == "") {
+				return fmt.Errorf("compare: schema drift: %s figure %d row %q must carry exactly one of summary or error", path, f.ID, row.Label)
+			}
+			if row.Summary != nil {
+				baseSteps += row.Summary.Steps
+			}
+		}
+	}
+	if base.Host.ElapsedSeconds <= 0 {
+		return fmt.Errorf("compare: schema drift: %s host block has no elapsed time", path)
+	}
+
+	var curSteps int64
+	for _, fig := range figs {
+		for _, row := range c.FigureRows(fig) {
+			if row.Err == nil {
+				curSteps += row.Summary.Steps
+			}
+		}
+	}
+	if curSteps == 0 || elapsed.Seconds() <= 0 {
+		return nil // nothing ran (e.g. an empty selection); no throughput to smoke
+	}
+	baseRate := float64(baseSteps) / base.Host.ElapsedSeconds
+	curRate := float64(curSteps) / elapsed.Seconds()
+	// Same-scale runs are directly comparable: warn at a 25% drop. A
+	// different scale amortizes fixed per-cell cost over a different
+	// step count, so its steps/s is not commensurate — there the smoke
+	// only guards against order-of-magnitude collapse (an accidental
+	// quadratic loop, not host jitter).
+	floor := 0.75
+	if scale != base.Scale {
+		floor = 0.05
+	}
+	if curRate < floor*baseRate {
+		fmt.Fprintf(stderr, "slbench: WARNING: throughput %.0f steps/s (scale %s) is %.0f%% below the %s trajectory (%.0f steps/s, scale %s) — possible perf regression (warn-only)\n",
+			curRate, scale, 100*(1-curRate/baseRate), path, baseRate, base.Scale)
+	}
+	return nil
 }
 
 // writeJSONReport marshals the campaign's selected figures (and shape

@@ -133,36 +133,152 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
-// TestBenchArtifact validates the checked-in BENCH_006.json: the
-// default-scale campaign snapshot must parse under the current schema
-// and cover every figure.
+// TestBenchArtifact validates every checked-in BENCH_*.json trajectory
+// point: each default-scale campaign snapshot must parse under the
+// current schema and cover every figure. The glob keeps the test honest
+// as the trajectory grows — a new point is validated the moment it is
+// checked in.
 func TestBenchArtifact(t *testing.T) {
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_006.json"))
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
 	if err != nil {
-		t.Fatalf("reading BENCH_006.json: %v", err)
+		t.Fatal(err)
 	}
-	var rep jsonReport
-	if err := json.Unmarshal(data, &rep); err != nil {
-		t.Fatalf("BENCH_006.json is not valid JSON: %v", err)
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_*.json trajectory points found at the repo root")
 	}
-	if rep.Schema != benchSchema {
-		t.Errorf("schema = %q, want %q (regenerate with: go run ./cmd/slbench -json > BENCH_006.json)", rep.Schema, benchSchema)
-	}
-	if rep.Scale != "default" {
-		t.Errorf("scale = %q, want the default-scale campaign", rep.Scale)
-	}
-	if len(rep.Figures) != 12 {
-		t.Errorf("figures = %d, want 12 (Figures 5-16)", len(rep.Figures))
-	}
-	for _, f := range rep.Figures {
-		if len(f.Rows) == 0 {
-			t.Errorf("figure %d has no rows", f.ID)
+	for _, path := range paths {
+		name := filepath.Base(path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", name, err)
 		}
-		for _, row := range f.Rows {
-			if (row.Summary == nil) == (row.Error == "") {
-				t.Errorf("figure %d row %q must carry exactly one of summary or error", f.ID, row.Label)
+		var rep jsonReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("%s is not valid JSON: %v", name, err)
+		}
+		if rep.Schema != benchSchema {
+			t.Errorf("%s: schema = %q, want %q (regenerate with: go run ./cmd/slbench -json > %s)", name, rep.Schema, benchSchema, name)
+		}
+		if rep.Scale != "default" {
+			t.Errorf("%s: scale = %q, want the default-scale campaign", name, rep.Scale)
+		}
+		if len(rep.Figures) != 12 {
+			t.Errorf("%s: figures = %d, want 12 (Figures 5-16)", name, len(rep.Figures))
+		}
+		for _, f := range rep.Figures {
+			if len(f.Rows) == 0 {
+				t.Errorf("%s: figure %d has no rows", name, f.ID)
+			}
+			for _, row := range f.Rows {
+				if (row.Summary == nil) == (row.Error == "") {
+					t.Errorf("%s: figure %d row %q must carry exactly one of summary or error", name, f.ID, row.Label)
+				}
 			}
 		}
+		if rep.Host.ElapsedSeconds <= 0 {
+			t.Errorf("%s: host block has no elapsed time (the throughput smoke needs it)", name)
+		}
+	}
+}
+
+// TestRunCompareTrajectory exercises the -compare gate end to end: a
+// healthy trajectory passes silently, an artificially fast one trips the
+// warn-only throughput smoke, and schema drift or a missing file fails
+// the run outright.
+func TestRunCompareTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	var base, errw bytes.Buffer
+	if code := run([]string{"-scale", "small", "-figure", "5", "-json", "-j", "4"}, &base, &errw); code != 0 {
+		t.Fatalf("baseline run = %d, stderr: %s", code, errw.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(base.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	writeRep := func(name string, r jsonReport) string {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// A slow baseline (100x the elapsed time → 1% of the throughput)
+	// cannot trip the smoke: exit 0, no warning.
+	slow := rep
+	slow.Host.ElapsedSeconds *= 100
+	var out bytes.Buffer
+	errw.Reset()
+	if code := run([]string{"-scale", "small", "-figure", "5", "-compare", writeRep("slow.json", slow)}, &out, &errw); code != 0 {
+		t.Fatalf("compare vs slow baseline = %d, stderr: %s", code, errw.String())
+	}
+	if strings.Contains(errw.String(), "WARNING") {
+		t.Errorf("slow baseline should not warn:\n%s", errw.String())
+	}
+
+	// An impossibly fast baseline must trip the warn-only smoke while
+	// still exiting 0.
+	fast := rep
+	fast.Host.ElapsedSeconds /= 1e6
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-scale", "small", "-figure", "5", "-compare", writeRep("fast.json", fast)}, &out, &errw); code != 0 {
+		t.Fatalf("compare vs fast baseline = %d (smoke must be warn-only), stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "WARNING") {
+		t.Errorf("fast baseline should warn about the throughput drop:\n%s", errw.String())
+	}
+
+	// Cross-scale comparison (the CI shape: small run vs the default-
+	// scale trajectory) must not warn on the inherent steps/s gap…
+	cross := rep
+	cross.Scale = "default"
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-scale", "small", "-figure", "5", "-compare", writeRep("cross.json", cross)}, &out, &errw); code != 0 {
+		t.Fatalf("cross-scale compare = %d, stderr: %s", code, errw.String())
+	}
+	if strings.Contains(errw.String(), "WARNING") {
+		t.Errorf("cross-scale compare at equal throughput should not warn:\n%s", errw.String())
+	}
+
+	// …but an order-of-magnitude collapse still trips the sanity bound.
+	crossFast := rep
+	crossFast.Scale = "default"
+	crossFast.Host.ElapsedSeconds /= 1e6
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-scale", "small", "-figure", "5", "-compare", writeRep("crossfast.json", crossFast)}, &out, &errw); code != 0 {
+		t.Fatalf("cross-scale fast compare = %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "WARNING") {
+		t.Errorf("cross-scale order-of-magnitude collapse should warn:\n%s", errw.String())
+	}
+
+	// Schema drift is a hard failure.
+	drift := rep
+	drift.Schema = "slbench/v0"
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-scale", "small", "-figure", "5", "-compare", writeRep("drift.json", drift)}, &out, &errw); code != 1 {
+		t.Errorf("compare vs drifted schema = %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "schema drift") {
+		t.Errorf("stderr should name the drift:\n%s", errw.String())
+	}
+
+	// So is a missing trajectory file.
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-scale", "small", "-figure", "5", "-compare", filepath.Join(dir, "absent.json")}, &out, &errw); code != 1 {
+		t.Errorf("compare vs missing file = %d, want 1", code)
 	}
 }
 

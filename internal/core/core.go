@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/faults"
+	"repro/internal/field"
 	"repro/internal/grid"
 	"repro/internal/integrate"
 	"repro/internal/metrics"
@@ -556,6 +557,13 @@ type worker struct {
 	// neither a pool nor the wire. The recovery layer salvages them.
 	sending     []*trace.Streamline
 	sendingRecs []seedRec
+
+	// solver and ptsBuf are reused across advance calls: the solver is
+	// reconfigured per streamline (its H is per-streamline state), and
+	// ptsBuf backs the integrator's geometry collection so steady-state
+	// advection does not allocate.
+	solver *integrate.DoPri5
+	ptsBuf []vec.V3
 }
 
 // newWorker attaches a worker to proc with the given cache capacity.
@@ -569,11 +577,12 @@ func (r *runState) newWorker(proc *sim.Proc, statIdx, cacheBlocks int) *worker {
 		cache.SetPrefetchLimit(2 * r.pf.Depth())
 	}
 	w := &worker{
-		run:   r,
-		proc:  proc,
-		end:   r.fabric.Attach(proc, stats),
-		cache: cache,
-		stats: stats,
+		run:    r,
+		proc:   proc,
+		end:    r.fabric.Attach(proc, stats),
+		cache:  cache,
+		stats:  stats,
+		solver: integrate.NewDoPri5(r.prob.IntOpts),
 	}
 	// Tests build bare runStates without Run()'s registries; skip the
 	// fault-recovery registration there.
@@ -709,13 +718,14 @@ func (w *worker) checkMemory(what string) bool {
 func (w *worker) advance(sl *trace.Streamline, ev grid.Evaluator, bounds vec.AABB) {
 	p := w.run.prob
 	d := p.Provider.Decomp()
-	solver := integrate.NewDoPri5(p.IntOpts)
+	solver := w.solver
 	solver.H = sl.H
 
 	lim := integrate.AdvectLimits{
 		Bounds:   bounds,
 		MaxSteps: p.maxSteps() - sl.Steps,
 		MaxTime:  p.MaxTime,
+		Buf:      w.ptsBuf,
 	}
 	epoch := 0
 	var res integrate.AdvectResult
@@ -734,12 +744,15 @@ func (w *worker) advance(sl *trace.Streamline, ev grid.Evaluator, bounds vec.AAB
 		if lim.MaxTime == 0 || horizon < lim.MaxTime {
 			lim.MaxTime = horizon
 		}
-		res = solver.AdvectT(tev, sl.P, sl.T, lim)
+		res = advectUnsteady(solver, tev, sl.P, sl.T, lim)
 		w.stats.PathlineSteps += int64(res.Steps)
 	} else {
-		res = solver.Advect(ev, sl.P, sl.T, lim)
+		res = advectSteady(solver, ev, sl.P, sl.T, lim)
 	}
 	sl.Append(res.Points)
+	// Append copied the geometry into the streamline, so the scratch
+	// buffer (possibly regrown inside the integrator) is free to reuse.
+	w.ptsBuf = res.Points[:0]
 	sl.T = res.T
 	sl.Steps += res.Steps
 	sl.H = solver.H
@@ -781,6 +794,50 @@ func (w *worker) advance(sl *trace.Streamline, ev grid.Evaluator, bounds vec.AAB
 	case integrate.StopError:
 		sl.Status = trace.Failed
 	}
+}
+
+// advectSteady runs steady advection devirtualized: the analytic
+// evaluator wrapper and the sampled block — the only evaluator types the
+// providers serve — are unwrapped to concrete types, so the integrator's
+// generic instantiation calls the field directly instead of through two
+// interface hops per evaluation. Unknown evaluator types fall back to
+// the interface path; every branch computes identical values.
+func advectSteady(s *integrate.DoPri5, ev grid.Evaluator, pos vec.V3, t float64, lim integrate.AdvectLimits) integrate.AdvectResult {
+	switch e := ev.(type) {
+	case grid.FieldEvaluator:
+		switch f := e.F.(type) {
+		case field.Supernova:
+			return integrate.AdvectWith(s, f, pos, t, lim)
+		case field.Tokamak:
+			return integrate.AdvectWith(s, f, pos, t, lim)
+		case field.ThermalHydraulics:
+			return integrate.AdvectWith(s, f, pos, t, lim)
+		}
+		return integrate.AdvectWith(s, e, pos, t, lim)
+	case *grid.SampledBlock:
+		return integrate.AdvectWith(s, e, pos, t, lim)
+	}
+	return s.Advect(ev, pos, t, lim)
+}
+
+// advectUnsteady is advectSteady for the non-autonomous pathline
+// integration; see there for the dispatch story.
+func advectUnsteady(s *integrate.DoPri5, ev grid.EvaluatorT, pos vec.V3, t float64, lim integrate.AdvectLimits) integrate.AdvectResult {
+	switch e := ev.(type) {
+	case grid.FieldEvaluatorT:
+		switch f := e.F.(type) {
+		case field.PulsingSupernova:
+			return integrate.AdvectTWith(s, f, pos, t, lim)
+		case field.SawtoothTokamak:
+			return integrate.AdvectTWith(s, f, pos, t, lim)
+		case field.SwitchingThermal:
+			return integrate.AdvectTWith(s, f, pos, t, lim)
+		}
+		return integrate.AdvectTWith(s, e, pos, t, lim)
+	case *grid.SampledEpoch:
+		return integrate.AdvectTWith(s, e, pos, t, lim)
+	}
+	return s.AdvectT(ev, pos, t, lim)
 }
 
 // timeEps guards float comparisons against the integration-time horizon:

@@ -93,10 +93,12 @@ func (s Supernova) Eval(p vec.V3) vec.V3 {
 	// Solenoidal turbulence: a few ABC-like modes, divergence free by
 	// construction, active in the shell between core and shock.
 	k1, k2 := 4.1, 6.3
+	s1z, c1z := math.Sincos(k1 * p.Z)
+	s2x, c2x := math.Sincos(k2 * p.X)
 	turb := vec.V3{
-		X: math.Sin(k1*p.Z) + math.Cos(k2*p.Y),
-		Y: math.Sin(k2*p.X) + math.Cos(k1*p.Z),
-		Z: math.Sin(k1*p.Y) + math.Cos(k2*p.X),
+		X: s1z + math.Cos(k2*p.Y),
+		Y: s2x + c1z,
+		Z: math.Sin(k1*p.Y) + c2x,
 	}.Scale(s.TurbAmp * envelope(r, 3*s.CoreRadius, s.ShockRadius))
 
 	return rot.Add(rad).Add(turb)
@@ -178,8 +180,9 @@ func (t Tokamak) Eval(p vec.V3) vec.V3 {
 	// Symmetry-breaking island perturbation (drives the chaotic lines).
 	if t.ChaosAmp != 0 {
 		phi := math.Atan2(p.Y, p.X)
-		pert := t.ChaosAmp * math.Sin(2*phi) * math.Cos(3*math.Atan2(w, u))
-		v = v.Add(erho.Scale(pert)).Add(vec.V3{Z: t.ChaosAmp * math.Cos(2*phi)})
+		s2p, c2p := math.Sincos(2 * phi)
+		pert := t.ChaosAmp * s2p * math.Cos(3*math.Atan2(w, u))
+		v = v.Add(erho.Scale(pert)).Add(vec.V3{Z: t.ChaosAmp * c2p})
 	}
 	return v
 }
@@ -235,7 +238,8 @@ func (t ThermalHydraulics) Name() string { return "thermal" }
 
 // Eval implements Field.
 func (t ThermalHydraulics) Eval(p vec.V3) vec.V3 {
-	return t.jet(p, t.InletA).Add(t.jet(p, t.InletB)).Add(t.ambient(p))
+	decay := t.jetDecay(p)
+	return t.jet(p, t.InletA, decay).Add(t.jet(p, t.InletB, decay)).Add(t.ambient(p))
 }
 
 // ambient returns everything but the inlet jets — recirculation, outlet
@@ -267,25 +271,34 @@ func (t ThermalHydraulics) ambient(p vec.V3) vec.V3 {
 	near := math.Exp(-ra*ra/(2*0.2*0.2)) + math.Exp(-rb*rb/(2*0.2*0.2))
 	if near > 1e-6 {
 		k := 17.0
+		sx, cx := math.Sincos(k * p.X)
+		sy, cy := math.Sincos(k * p.Y)
+		sz, cz := math.Sincos(k * p.Z)
 		turb := vec.V3{
-			X: math.Sin(k*p.Y) * math.Cos(k*p.Z),
-			Y: math.Sin(k*p.Z) * math.Cos(k*p.X),
-			Z: math.Sin(k*p.X) * math.Cos(k*p.Y),
+			X: sy * cz,
+			Y: sz * cx,
+			Z: sx * cy,
 		}.Scale(t.TurbAmp * near)
 		v = v.Add(turb)
 	}
 	return v
 }
 
+// jetDecay is the penetration-depth decay factor shared by both inlet
+// jets — it depends only on p.X, so callers compute it once per
+// evaluation and pass it to each jet.
+func (t ThermalHydraulics) jetDecay(p vec.V3) float64 {
+	return math.Exp(-p.X / 0.6)
+}
+
 // jet returns the velocity contribution of one inlet jet: a Gaussian
-// profile around the jet axis (+x from the inlet center) that decays with
-// penetration depth.
-func (t ThermalHydraulics) jet(p, inlet vec.V3) vec.V3 {
+// profile around the jet axis (+x from the inlet center), scaled by the
+// shared penetration decay from jetDecay.
+func (t ThermalHydraulics) jet(p, inlet vec.V3, decay float64) vec.V3 {
 	dy := p.Y - inlet.Y
 	dz := p.Z - inlet.Z
 	r2 := dy*dy + dz*dz
 	sigma := t.InletRadius * (1 + 2*p.X) // the jet widens as it penetrates
 	profile := math.Exp(-r2 / (2 * sigma * sigma))
-	decay := math.Exp(-p.X / 0.6)
 	return vec.V3{X: t.JetSpeed * profile * decay}
 }

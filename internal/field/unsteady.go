@@ -171,6 +171,7 @@ func (t SwitchingThermal) EvalAt(p vec.V3, tm float64) vec.V3 {
 	// Inlet weights trade off smoothly and sum to 1, so the total
 	// injected momentum is constant while its location migrates.
 	wA := 0.5 * (1 + math.Cos(2*math.Pi*tm/t.Period))
-	jets := t.jet(p, t.InletA).Scale(wA).Add(t.jet(p, t.InletB).Scale(1 - wA))
+	decay := t.jetDecay(p)
+	jets := t.jet(p, t.InletA, decay).Scale(wA).Add(t.jet(p, t.InletB, decay).Scale(1 - wA))
 	return jets.Add(t.ambient(p))
 }

@@ -258,14 +258,19 @@ type AnalyticProvider struct {
 }
 
 // Block implements Provider.
-func (a AnalyticProvider) Block(BlockID) Evaluator { return fieldEvaluator{a.F} }
+func (a AnalyticProvider) Block(BlockID) Evaluator { return FieldEvaluator{a.F} }
 
 // Decomp implements Provider.
 func (a AnalyticProvider) Decomp() Decomposition { return a.D }
 
-type fieldEvaluator struct{ f field.Field }
+// FieldEvaluator adapts a field.Field to the Evaluator interface. It is
+// exported so hot loops can type-switch on it and instantiate their
+// inner integration at the concrete field type, bypassing the double
+// interface dispatch (Evaluator → Field) it otherwise implies.
+type FieldEvaluator struct{ F field.Field }
 
-func (e fieldEvaluator) Eval(p vec.V3) vec.V3 { return e.f.Eval(p) }
+// Eval implements Evaluator.
+func (e FieldEvaluator) Eval(p vec.V3) vec.V3 { return e.F.Eval(p) }
 
 // SampledProvider materializes blocks by sampling a source field onto
 // node-centered arrays, exactly as a dataset read from disk would be, and

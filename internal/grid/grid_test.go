@@ -286,3 +286,27 @@ func TestPropBlockCentersLocateToSelf(t *testing.T) {
 		}
 	}
 }
+
+// TestGhostBoundsClippedToDomain covers the ghost-layer extent: interior
+// blocks grow by whole cells on every face, boundary blocks clip to the
+// domain.
+func TestGhostBoundsClippedToDomain(t *testing.T) {
+	d := NewDecomposition(vec.Box(vec.Of(0, 0, 0), vec.Of(1, 1, 1)), 2, 2, 2, 8)
+	corner := d.GhostBounds(0) // block at the domain's min corner
+	if corner.Min != d.Domain.Min {
+		t.Errorf("corner ghost bounds min = %v, want clipped to domain min %v", corner.Min, d.Domain.Min)
+	}
+	plain := d.Bounds(0)
+	if !(corner.Max.X > plain.Max.X && corner.Max.Y > plain.Max.Y && corner.Max.Z > plain.Max.Z) {
+		t.Errorf("ghost bounds %v do not grow past the block bounds %v on the interior faces", corner, plain)
+	}
+}
+
+// TestSampledBlockID covers the sampled block's identity accessor.
+func TestSampledBlockID(t *testing.T) {
+	d := NewDecomposition(vec.Box(vec.Of(0, 0, 0), vec.Of(1, 1, 1)), 2, 2, 2, 4)
+	b := SampleBlock(field.DefaultSupernova(), d, 3)
+	if b.ID() != 3 {
+		t.Errorf("ID = %d, want 3", b.ID())
+	}
+}

@@ -124,23 +124,25 @@ type AnalyticProviderT struct {
 
 // Block implements Provider; the evaluator is valid at any time, so one
 // value serves every epoch of the spatial block.
-func (a AnalyticProviderT) Block(BlockID) Evaluator { return fieldEvaluatorT{a.F} }
+func (a AnalyticProviderT) Block(BlockID) Evaluator { return FieldEvaluatorT{a.F} }
 
 // Decomp implements Provider.
 func (a AnalyticProviderT) Decomp() Decomposition { return a.D }
 
-// fieldEvaluatorT adapts a FieldT to EvaluatorT; its time-frozen Eval
-// (required by the Evaluator interface) answers at the field's T0.
-type fieldEvaluatorT struct{ f field.FieldT }
+// FieldEvaluatorT adapts a FieldT to EvaluatorT; its time-frozen Eval
+// (required by the Evaluator interface) answers at the field's T0. Like
+// FieldEvaluator it is exported so hot loops can type-switch down to
+// the concrete field type.
+type FieldEvaluatorT struct{ F field.FieldT }
 
 // Eval implements Evaluator, frozen at the field's initial time.
-func (e fieldEvaluatorT) Eval(p vec.V3) vec.V3 {
-	t0, _ := e.f.TimeRange()
-	return e.f.EvalAt(p, t0)
+func (e FieldEvaluatorT) Eval(p vec.V3) vec.V3 {
+	t0, _ := e.F.TimeRange()
+	return e.F.EvalAt(p, t0)
 }
 
 // EvalAt implements EvaluatorT.
-func (e fieldEvaluatorT) EvalAt(p vec.V3, t float64) vec.V3 { return e.f.EvalAt(p, t) }
+func (e FieldEvaluatorT) EvalAt(p vec.V3, t float64) vec.V3 { return e.F.EvalAt(p, t) }
 
 // SampledProviderT materializes space-time blocks the way a real
 // time-sliced dataset read would: the two stored slices bounding the

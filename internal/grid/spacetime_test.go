@@ -205,3 +205,34 @@ func TestAnalyticProviderTServesAllEpochs(t *testing.T) {
 		t.Errorf("frozen Eval = %v, want %v", got, want)
 	}
 }
+
+// TestProviderTDecompAndFrozenEval covers the provider plumbing the hot
+// loops bypass since the devirtualization: both unsteady providers must
+// echo their decomposition, and FieldEvaluatorT's time-frozen Eval (the
+// Evaluator-interface view of a FieldT) must answer at the field's T0.
+func TestProviderTDecompAndFrozenEval(t *testing.T) {
+	f := field.DefaultPulsingSupernova()
+	d := unsteadyDecomp()
+
+	ap := AnalyticProviderT{F: f, D: d}
+	if ap.Decomp().TimeSlices != d.TimeSlices {
+		t.Errorf("AnalyticProviderT.Decomp lost the decomposition")
+	}
+	sp := SampledProviderT{F: f, D: d}
+	if sp.Decomp().TimeSlices != d.TimeSlices {
+		t.Errorf("SampledProviderT.Decomp lost the decomposition")
+	}
+
+	ev, ok := ap.Block(0).(FieldEvaluatorT)
+	if !ok {
+		t.Fatalf("AnalyticProviderT.Block = %T, want FieldEvaluatorT", ap.Block(0))
+	}
+	t0, _ := f.TimeRange()
+	p := vec.Of(0.3, 0.4, 0.5)
+	if got, want := ev.Eval(p), f.EvalAt(p, t0); got != want {
+		t.Errorf("frozen Eval = %v, want the field at t0: %v", got, want)
+	}
+	if got, want := ev.EvalAt(p, 0.7), f.EvalAt(p, 0.7); got != want {
+		t.Errorf("EvalAt = %v, want %v", got, want)
+	}
+}

@@ -6,6 +6,16 @@
 // package implements that Dormand–Prince 5(4) embedded pair with a
 // standard PI step-size controller, plus fixed-step RK4 and Euler
 // baselines used by convergence tests.
+//
+// The hot loop is written for the simulated campaigns, where field
+// evaluation dominates the run time (DESIGN.md §12): the stages are
+// unrolled against the tableau constants, the step core is generic over
+// the evaluator so callers can instantiate it at a concrete field type
+// (no interface dispatch), and the first-same-as-last (FSAL) property of
+// the Dormand–Prince pair is exploited to evaluate the field six — not
+// eight — times per accepted step. Every reuse returns bit-for-bit the
+// value the old code recomputed, so the golden geometry digests cannot
+// move.
 package integrate
 
 import (
@@ -95,21 +105,43 @@ func (s StopReason) String() string {
 // ErrNonFinite is returned when the field produces NaN or Inf.
 var ErrNonFinite = errors.New("integrate: field returned non-finite value")
 
-// Dormand–Prince RK5(4) coefficients (the DOPRI5 tableau).
-var (
-	dpA = [7][6]float64{
-		{},
-		{1.0 / 5},
-		{3.0 / 40, 9.0 / 40},
-		{44.0 / 45, -56.0 / 15, 32.0 / 9},
-		{19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
-		{9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
-		{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
-	}
-	// 5th-order solution weights (same as the last A row: FSAL).
-	dpB5 = [7]float64{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84, 0}
-	// 4th-order (embedded) solution weights.
-	dpB4 = [7]float64{5179.0 / 57600, 0, 7571.0 / 16695, 393.0 / 640, -92097.0 / 339200, 187.0 / 2100, 1.0 / 40}
+// Dormand–Prince RK5(4) tableau (the DOPRI5 coefficients), as untyped
+// constants so the unrolled stages below fold them into immediates. The
+// sixth A row doubles as the 5th-order weights (FSAL); cB4* are the
+// embedded 4th-order weights; cC* the stage time fractions.
+const (
+	cA10 = 1.0 / 5
+	cA20 = 3.0 / 40
+	cA21 = 9.0 / 40
+	cA30 = 44.0 / 45
+	cA31 = -56.0 / 15
+	cA32 = 32.0 / 9
+	cA40 = 19372.0 / 6561
+	cA41 = -25360.0 / 2187
+	cA42 = 64448.0 / 6561
+	cA43 = -212.0 / 729
+	cA50 = 9017.0 / 3168
+	cA51 = -355.0 / 33
+	cA52 = 46732.0 / 5247
+	cA53 = 49.0 / 176
+	cA54 = -5103.0 / 18656
+	cA60 = 35.0 / 384
+	cA62 = 500.0 / 1113
+	cA63 = 125.0 / 192
+	cA64 = -2187.0 / 6784
+	cA65 = 11.0 / 84
+
+	cB40 = 5179.0 / 57600
+	cB42 = 7571.0 / 16695
+	cB43 = 393.0 / 640
+	cB44 = -92097.0 / 339200
+	cB45 = 187.0 / 2100
+	cB46 = 1.0 / 40
+
+	cC1 = 1.0 / 5
+	cC2 = 3.0 / 10
+	cC3 = 4.0 / 5
+	cC4 = 8.0 / 9
 )
 
 // DoPri5 is a Dormand–Prince 5(4) adaptive integrator. The zero value is
@@ -141,48 +173,84 @@ type StepResult struct {
 // Step advances one accepted adaptive step from (p, t), updating the
 // internal step size. It returns ErrNonFinite if the field misbehaves.
 func (s *DoPri5) Step(f Evaluator, p vec.V3, t float64) (StepResult, error) {
-	o := s.Opts
-	if s.H == 0 {
-		s.H = s.initialStep(f, p)
+	return StepWith(s, f, p, t)
+}
+
+// StepWith is Step generic over the evaluator type, so hot loops can
+// instantiate it at a concrete field type and skip interface dispatch.
+// The arithmetic is identical to Step for every instantiation.
+func StepWith[E Evaluator](s *DoPri5, f E, p vec.V3, t float64) (StepResult, error) {
+	k0 := f.Eval(p)
+	if !k0.IsFinite() {
+		return StepResult{Evals: 1}, ErrNonFinite
 	}
+	if s.H == 0 {
+		s.H = s.initialStepFrom(k0)
+	}
+	res, _, _, err := stepFrom(s, f, p, t, k0)
+	res.Evals++ // k0 above
+	return res, err
+}
+
+// stepFrom is the adaptive-step core: it takes k0 = f.Eval(p) from the
+// caller (not counted in its Evals) so the value can be shared with the
+// caller's speed check and, via the FSAL property, with the previous
+// accepted step's final stage. k0 does not depend on the trial step
+// size, so rejected trials reuse it instead of re-evaluating.
+//
+// The sixth stage's sample point is accumulated with exactly the
+// 5th-order weight sequence, so it IS the accepted position p5
+// bit-for-bit; stepFrom therefore computes p5 once, evaluates the final
+// stage there, and on acceptance returns that value as k6 (with
+// fsal=true) — bit-identical to what the next step's k0 would be.
+func stepFrom[E Evaluator](s *DoPri5, f E, p vec.V3, t float64, k0 vec.V3) (res StepResult, k6 vec.V3, fsal bool, err error) {
+	o := s.Opts
 	evals := 0
-	var k [7]vec.V3
 	for try := 0; try < 64; try++ {
 		h := s.H
-		k[0] = f.Eval(p)
+		q := p.Add(k0.Scale(h * cA10))
+		k1 := f.Eval(q)
 		evals++
-		if !k[0].IsFinite() {
-			return StepResult{Evals: evals}, ErrNonFinite
+		if !k1.IsFinite() {
+			return StepResult{Evals: evals}, vec.V3{}, false, ErrNonFinite
 		}
-		for i := 1; i < 7; i++ {
-			q := p
-			for j := 0; j < i; j++ {
-				if dpA[i][j] != 0 {
-					q = q.Add(k[j].Scale(h * dpA[i][j]))
-				}
-			}
-			k[i] = f.Eval(q)
-			evals++
-			if !k[i].IsFinite() {
-				return StepResult{Evals: evals}, ErrNonFinite
-			}
+		q = p.Add(k0.Scale(h * cA20)).Add(k1.Scale(h * cA21))
+		k2 := f.Eval(q)
+		evals++
+		if !k2.IsFinite() {
+			return StepResult{Evals: evals}, vec.V3{}, false, ErrNonFinite
 		}
-		var p5, p4 vec.V3
-		p5, p4 = p, p
-		for i := 0; i < 7; i++ {
-			if dpB5[i] != 0 {
-				p5 = p5.Add(k[i].Scale(h * dpB5[i]))
-			}
-			if dpB4[i] != 0 {
-				p4 = p4.Add(k[i].Scale(h * dpB4[i]))
-			}
+		q = p.Add(k0.Scale(h * cA30)).Add(k1.Scale(h * cA31)).Add(k2.Scale(h * cA32))
+		k3 := f.Eval(q)
+		evals++
+		if !k3.IsFinite() {
+			return StepResult{Evals: evals}, vec.V3{}, false, ErrNonFinite
 		}
+		q = p.Add(k0.Scale(h * cA40)).Add(k1.Scale(h * cA41)).Add(k2.Scale(h * cA42)).Add(k3.Scale(h * cA43))
+		k4 := f.Eval(q)
+		evals++
+		if !k4.IsFinite() {
+			return StepResult{Evals: evals}, vec.V3{}, false, ErrNonFinite
+		}
+		q = p.Add(k0.Scale(h * cA50)).Add(k1.Scale(h * cA51)).Add(k2.Scale(h * cA52)).Add(k3.Scale(h * cA53)).Add(k4.Scale(h * cA54))
+		k5 := f.Eval(q)
+		evals++
+		if !k5.IsFinite() {
+			return StepResult{Evals: evals}, vec.V3{}, false, ErrNonFinite
+		}
+		p5 := p.Add(k0.Scale(h * cA60)).Add(k2.Scale(h * cA62)).Add(k3.Scale(h * cA63)).Add(k4.Scale(h * cA64)).Add(k5.Scale(h * cA65))
+		k6v := f.Eval(p5)
+		evals++
+		if !k6v.IsFinite() {
+			return StepResult{Evals: evals}, vec.V3{}, false, ErrNonFinite
+		}
+		p4 := p.Add(k0.Scale(h * cB40)).Add(k2.Scale(h * cB42)).Add(k3.Scale(h * cB43)).Add(k4.Scale(h * cB44)).Add(k5.Scale(h * cB45)).Add(k6v.Scale(h * cB46))
 		errEst := p5.Dist(p4)
 		if errEst <= o.Tol || h <= o.HMin {
 			// Accept; grow the step for next time (classic 0.9 safety,
 			// order-5 exponent).
 			s.H = nextStep(h, errEst, o)
-			return StepResult{P: p5, T: t + h, Evals: evals, Accepted: true}, nil
+			return StepResult{P: p5, T: t + h, Evals: evals, Accepted: true}, k6v, true, nil
 		}
 		// Reject: shrink and retry.
 		s.H = nextStep(h, errEst, o)
@@ -193,18 +261,23 @@ func (s *DoPri5) Step(f Evaluator, p vec.V3, t float64) (StepResult, error) {
 			s.H = o.HMin
 		}
 	}
-	// Tolerance unreachable: accept a minimal step rather than spinning.
+	// Tolerance unreachable: accept a minimal Euler step (from k0, the
+	// already-evaluated field at p) rather than spinning.
 	s.H = o.HMin
 	h := s.H
-	v := f.Eval(p)
-	evals++
-	if !v.IsFinite() {
-		return StepResult{Evals: evals}, ErrNonFinite
-	}
-	return StepResult{P: p.Add(v.Scale(h)), T: t + h, Evals: evals, Accepted: true}, nil
+	return StepResult{P: p.Add(k0.Scale(h)), T: t + h, Evals: evals, Accepted: true}, vec.V3{}, false, nil
 }
 
 func nextStep(h, errEst float64, o Options) float64 {
+	// Fast path for the common cruising regime: the step is pinned at
+	// HMax and the error is comfortably inside tolerance, so the growth
+	// factor is certainly ≥ 1 (shrinking would need errEst > 0.59·Tol)
+	// and the HMax clamp hands back h unchanged — no Pow required. The
+	// 4× margin keeps the shortcut far from the factor≈1 rounding
+	// boundary, so it can never disagree with the exact computation.
+	if o.HMax > 0 && h == o.HMax && h >= o.HMin && errEst*4 < o.Tol {
+		return h
+	}
 	var factor float64
 	if errEst == 0 {
 		factor = 5
@@ -227,10 +300,11 @@ func nextStep(h, errEst float64, o Options) float64 {
 	return h
 }
 
-// initialStep picks a starting step from the local field magnitude so the
-// first step moves a small fraction of a unit length.
-func (s *DoPri5) initialStep(f Evaluator, p vec.V3) float64 {
-	v := f.Eval(p).Norm()
+// initialStepFrom picks a starting step from the local field value (the
+// caller's already-computed evaluation at the start point) so the first
+// step moves a small fraction of a unit length.
+func (s *DoPri5) initialStepFrom(v0 vec.V3) float64 {
+	v := v0.Norm()
 	if v < 1e-12 {
 		return 1e-3
 	}
@@ -249,6 +323,11 @@ type AdvectLimits struct {
 	Bounds   vec.AABB // stop when the position leaves this box
 	MaxSteps int      // stop after this many accepted steps (0 = unlimited)
 	MaxTime  float64  // stop at this integration time (0 = unlimited)
+	// Buf, when non-nil, is a reusable backing array for the result's
+	// Points: geometry is collected into Buf[:0] instead of a fresh
+	// allocation. The caller owns the aliasing — copy the points out
+	// before reusing the buffer.
+	Buf []vec.V3
 }
 
 // AdvectResult reports an Advect call.
@@ -266,7 +345,20 @@ type AdvectResult struct {
 // Bounds is the current block's box, so StopOutOfBlock signals a block
 // transition.
 func (s *DoPri5) Advect(f Evaluator, p vec.V3, t float64, lim AdvectLimits) AdvectResult {
-	res := AdvectResult{P: p, T: t}
+	return AdvectWith(s, f, p, t, lim)
+}
+
+// AdvectWith is Advect generic over the evaluator type: instantiated at
+// a concrete field type it runs the whole inner loop without interface
+// dispatch. The per-iteration speed check doubles as the step's first
+// stage, and after an accepted step the FSAL value is carried into the
+// next iteration, for six field evaluations per accepted step in steady
+// state. All reused values are bit-identical to the ones previously
+// recomputed.
+func AdvectWith[E Evaluator](s *DoPri5, f E, p vec.V3, t float64, lim AdvectLimits) AdvectResult {
+	res := AdvectResult{P: p, T: t, Points: lim.Buf[:0]}
+	var v vec.V3 // field at res.P: fresh, or the last step's FSAL stage
+	haveV := false
 	for {
 		if lim.MaxSteps > 0 && res.Steps >= lim.MaxSteps {
 			res.Reason = StopMaxSteps
@@ -276,26 +368,34 @@ func (s *DoPri5) Advect(f Evaluator, p vec.V3, t float64, lim AdvectLimits) Adve
 			res.Reason = StopMaxTime
 			return res
 		}
-		if v := f.Eval(res.P); v.Norm() < s.Opts.MinSpeed {
-			res.Evals++
+		if !haveV {
+			v = f.Eval(res.P)
+			res.Evals++ // the speed check below
+		}
+		haveV = false
+		if v.Norm() < s.Opts.MinSpeed {
 			res.Reason = StopCritical
 			return res
 		}
-		res.Evals++ // the speed check above
+		if !v.IsFinite() {
+			res.Reason = StopError
+			return res
+		}
+		if s.H == 0 {
+			// A fresh solver picks its initial step before the horizon
+			// clamp, so even the very first step is clamped.
+			s.H = s.initialStepFrom(v)
+		}
 		if lim.MaxTime > 0 {
 			// Land exactly on the time horizon: flow-map analyses (FTLE)
 			// need neighboring trajectories to stop at identical times,
 			// and epoch-bounded pathline advection must not overshoot
-			// into the next time slab. A fresh solver picks its initial
-			// step first so even the very first step is clamped.
-			if s.H == 0 {
-				s.H = s.initialStep(f, res.P)
-			}
+			// into the next time slab.
 			if remain := lim.MaxTime - res.T; s.H > remain {
 				s.H = remain
 			}
 		}
-		step, err := s.Step(f, res.P, res.T)
+		step, k6, fsal, err := stepFrom(s, f, res.P, res.T, v)
 		res.Evals += step.Evals
 		if err != nil {
 			res.Reason = StopError
@@ -309,6 +409,7 @@ func (s *DoPri5) Advect(f Evaluator, p vec.V3, t float64, lim AdvectLimits) Adve
 			res.Reason = StopOutOfBlock
 			return res
 		}
+		v, haveV = k6, fsal
 	}
 }
 
@@ -325,61 +426,75 @@ type TimeEvalFunc func(p vec.V3, t float64) vec.V3
 // EvalAt implements TimeEvaluator.
 func (f TimeEvalFunc) EvalAt(p vec.V3, t float64) vec.V3 { return f(p, t) }
 
-// frozen restricts a TimeEvaluator to one instant, for reusing the
-// autonomous machinery stage-by-stage.
-type frozen struct {
-	f TimeEvaluator
-	t float64
-}
-
-func (fr frozen) Eval(p vec.V3) vec.V3 { return fr.f.EvalAt(p, fr.t) }
-
-// dpC are the Dormand–Prince stage time fractions (row sums of dpA).
-var dpC = [7]float64{0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1, 1}
-
 // StepT advances one accepted adaptive step of the non-autonomous system,
 // evaluating the field at the proper stage times t + c_i·h.
 func (s *DoPri5) StepT(f TimeEvaluator, p vec.V3, t float64) (StepResult, error) {
-	o := s.Opts
-	if s.H == 0 {
-		s.H = s.initialStep(frozen{f, t}, p)
+	return StepTWith(s, f, p, t)
+}
+
+// StepTWith is StepT generic over the evaluator type; see StepWith.
+func StepTWith[E TimeEvaluator](s *DoPri5, f E, p vec.V3, t float64) (StepResult, error) {
+	k0 := f.EvalAt(p, t)
+	if !k0.IsFinite() {
+		return StepResult{Evals: 1}, ErrNonFinite
 	}
+	if s.H == 0 {
+		s.H = s.initialStepFrom(k0)
+	}
+	res, _, _, err := stepFromT(s, f, p, t, k0)
+	res.Evals++ // k0 above
+	return res, err
+}
+
+// stepFromT is stepFrom for the non-autonomous system. The final stage
+// is evaluated at (p5, t+h) — exactly where the next step's k0 would be
+// taken — so the FSAL reuse carries over unchanged.
+func stepFromT[E TimeEvaluator](s *DoPri5, f E, p vec.V3, t float64, k0 vec.V3) (res StepResult, k6 vec.V3, fsal bool, err error) {
+	o := s.Opts
 	evals := 0
-	var k [7]vec.V3
 	for try := 0; try < 64; try++ {
 		h := s.H
-		k[0] = f.EvalAt(p, t)
+		q := p.Add(k0.Scale(h * cA10))
+		k1 := f.EvalAt(q, t+cC1*h)
 		evals++
-		if !k[0].IsFinite() {
-			return StepResult{Evals: evals}, ErrNonFinite
+		if !k1.IsFinite() {
+			return StepResult{Evals: evals}, vec.V3{}, false, ErrNonFinite
 		}
-		for i := 1; i < 7; i++ {
-			q := p
-			for j := 0; j < i; j++ {
-				if dpA[i][j] != 0 {
-					q = q.Add(k[j].Scale(h * dpA[i][j]))
-				}
-			}
-			k[i] = f.EvalAt(q, t+dpC[i]*h)
-			evals++
-			if !k[i].IsFinite() {
-				return StepResult{Evals: evals}, ErrNonFinite
-			}
+		q = p.Add(k0.Scale(h * cA20)).Add(k1.Scale(h * cA21))
+		k2 := f.EvalAt(q, t+cC2*h)
+		evals++
+		if !k2.IsFinite() {
+			return StepResult{Evals: evals}, vec.V3{}, false, ErrNonFinite
 		}
-		var p5, p4 vec.V3
-		p5, p4 = p, p
-		for i := 0; i < 7; i++ {
-			if dpB5[i] != 0 {
-				p5 = p5.Add(k[i].Scale(h * dpB5[i]))
-			}
-			if dpB4[i] != 0 {
-				p4 = p4.Add(k[i].Scale(h * dpB4[i]))
-			}
+		q = p.Add(k0.Scale(h * cA30)).Add(k1.Scale(h * cA31)).Add(k2.Scale(h * cA32))
+		k3 := f.EvalAt(q, t+cC3*h)
+		evals++
+		if !k3.IsFinite() {
+			return StepResult{Evals: evals}, vec.V3{}, false, ErrNonFinite
 		}
+		q = p.Add(k0.Scale(h * cA40)).Add(k1.Scale(h * cA41)).Add(k2.Scale(h * cA42)).Add(k3.Scale(h * cA43))
+		k4 := f.EvalAt(q, t+cC4*h)
+		evals++
+		if !k4.IsFinite() {
+			return StepResult{Evals: evals}, vec.V3{}, false, ErrNonFinite
+		}
+		q = p.Add(k0.Scale(h * cA50)).Add(k1.Scale(h * cA51)).Add(k2.Scale(h * cA52)).Add(k3.Scale(h * cA53)).Add(k4.Scale(h * cA54))
+		k5 := f.EvalAt(q, t+h)
+		evals++
+		if !k5.IsFinite() {
+			return StepResult{Evals: evals}, vec.V3{}, false, ErrNonFinite
+		}
+		p5 := p.Add(k0.Scale(h * cA60)).Add(k2.Scale(h * cA62)).Add(k3.Scale(h * cA63)).Add(k4.Scale(h * cA64)).Add(k5.Scale(h * cA65))
+		k6v := f.EvalAt(p5, t+h)
+		evals++
+		if !k6v.IsFinite() {
+			return StepResult{Evals: evals}, vec.V3{}, false, ErrNonFinite
+		}
+		p4 := p.Add(k0.Scale(h * cB40)).Add(k2.Scale(h * cB42)).Add(k3.Scale(h * cB43)).Add(k4.Scale(h * cB44)).Add(k5.Scale(h * cB45)).Add(k6v.Scale(h * cB46))
 		errEst := p5.Dist(p4)
 		if errEst <= o.Tol || h <= o.HMin {
 			s.H = nextStep(h, errEst, o)
-			return StepResult{P: p5, T: t + h, Evals: evals, Accepted: true}, nil
+			return StepResult{P: p5, T: t + h, Evals: evals, Accepted: true}, k6v, true, nil
 		}
 		s.H = nextStep(h, errEst, o)
 		if s.H >= h {
@@ -390,18 +505,22 @@ func (s *DoPri5) StepT(f TimeEvaluator, p vec.V3, t float64) (StepResult, error)
 		}
 	}
 	s.H = o.HMin
-	v := f.EvalAt(p, t)
-	evals++
-	if !v.IsFinite() {
-		return StepResult{Evals: evals}, ErrNonFinite
-	}
-	return StepResult{P: p.Add(v.Scale(s.H)), T: t + s.H, Evals: evals, Accepted: true}, nil
+	return StepResult{P: p.Add(k0.Scale(s.H)), T: t + s.H, Evals: evals, Accepted: true}, vec.V3{}, false, nil
 }
 
 // AdvectT integrates the non-autonomous system from (p, t) under the same
 // limits as Advect; MaxTime is the absolute time horizon.
 func (s *DoPri5) AdvectT(f TimeEvaluator, p vec.V3, t float64, lim AdvectLimits) AdvectResult {
-	res := AdvectResult{P: p, T: t}
+	return AdvectTWith(s, f, p, t, lim)
+}
+
+// AdvectTWith is AdvectT generic over the evaluator type; see AdvectWith
+// for the dispatch and evaluation-reuse story, which carries over to the
+// non-autonomous system unchanged.
+func AdvectTWith[E TimeEvaluator](s *DoPri5, f E, p vec.V3, t float64, lim AdvectLimits) AdvectResult {
+	res := AdvectResult{P: p, T: t, Points: lim.Buf[:0]}
+	var v vec.V3 // field at (res.P, res.T): fresh, or the FSAL carry
+	haveV := false
 	for {
 		if lim.MaxSteps > 0 && res.Steps >= lim.MaxSteps {
 			res.Reason = StopMaxSteps
@@ -411,22 +530,29 @@ func (s *DoPri5) AdvectT(f TimeEvaluator, p vec.V3, t float64, lim AdvectLimits)
 			res.Reason = StopMaxTime
 			return res
 		}
-		if v := f.EvalAt(res.P, res.T); v.Norm() < s.Opts.MinSpeed {
+		if !haveV {
+			v = f.EvalAt(res.P, res.T)
 			res.Evals++
+		}
+		haveV = false
+		if v.Norm() < s.Opts.MinSpeed {
 			res.Reason = StopCritical
 			return res
 		}
-		res.Evals++
-		if lim.MaxTime > 0 {
+		if !v.IsFinite() {
+			res.Reason = StopError
+			return res
+		}
+		if s.H == 0 {
 			// Same first-step horizon clamp as Advect.
-			if s.H == 0 {
-				s.H = s.initialStep(frozen{f, res.T}, res.P)
-			}
+			s.H = s.initialStepFrom(v)
+		}
+		if lim.MaxTime > 0 {
 			if remain := lim.MaxTime - res.T; s.H > remain {
 				s.H = remain
 			}
 		}
-		step, err := s.StepT(f, res.P, res.T)
+		step, k6, fsal, err := stepFromT(s, f, res.P, res.T, v)
 		res.Evals += step.Evals
 		if err != nil {
 			res.Reason = StopError
@@ -440,6 +566,7 @@ func (s *DoPri5) AdvectT(f TimeEvaluator, p vec.V3, t float64, lim AdvectLimits)
 			res.Reason = StopOutOfBlock
 			return res
 		}
+		v, haveV = k6, fsal
 	}
 }
 

@@ -283,3 +283,86 @@ func TestPropEnergyConservationOnRotation(t *testing.T) {
 		}
 	}
 }
+
+// TestAdvectTMatchesAdvectOnAutonomousField pins the non-autonomous
+// entry points against the autonomous ones: wrapping a steady field as a
+// TimeEvaluator that ignores t must reproduce Advect's geometry exactly,
+// step for step, through both the interface entry (AdvectT) and the
+// generic one (AdvectTWith).
+func TestAdvectTMatchesAdvectOnAutonomousField(t *testing.T) {
+	f := field.DefaultSupernova()
+	lim := AdvectLimits{Bounds: f.Bounds(), MaxSteps: 200}
+	seed := vec.Of(0.3, 0.1, 0.05)
+
+	sA := NewDoPri5(Options{Tol: 1e-6, HMax: 0.01})
+	rA := sA.Advect(f, seed, 0, lim)
+
+	sT := NewDoPri5(Options{Tol: 1e-6, HMax: 0.01})
+	rT := sT.AdvectT(TimeEvalFunc(func(p vec.V3, _ float64) vec.V3 { return f.Eval(p) }), seed, 0, lim)
+
+	if rA.P != rT.P || rA.Steps != rT.Steps || rA.Reason != rT.Reason {
+		t.Errorf("AdvectT diverged from Advect: %v/%d/%v vs %v/%d/%v",
+			rT.P, rT.Steps, rT.Reason, rA.P, rA.Steps, rA.Reason)
+	}
+	if len(rA.Points) != len(rT.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(rT.Points), len(rA.Points))
+	}
+	for i := range rA.Points {
+		if rA.Points[i] != rT.Points[i] {
+			t.Fatalf("geometry diverged at point %d: %v vs %v", i, rT.Points[i], rA.Points[i])
+		}
+	}
+}
+
+// TestAdvectTStopsOnLimits covers the non-autonomous loop's stop
+// conditions: the absolute MaxTime horizon (with the final step clamped
+// to land exactly on it) and the out-of-bounds exit.
+func TestAdvectTStopsOnLimits(t *testing.T) {
+	uniform := TimeEvalFunc(func(vec.V3, float64) vec.V3 { return vec.Of(1, 0, 0) })
+	s := NewDoPri5(Options{Tol: 1e-8, HMax: 0.1})
+	res := s.AdvectT(uniform, vec.Of(0, 0, 0), 0, AdvectLimits{Bounds: bigBox, MaxTime: 1})
+	if res.Reason != StopMaxTime || res.T != 1 {
+		t.Errorf("reason %v at t=%g, want StopMaxTime at exactly 1", res.Reason, res.T)
+	}
+
+	s = NewDoPri5(Options{Tol: 1e-8, HMax: 0.1})
+	tiny := vec.Box(vec.Of(-1, -1, -1), vec.Of(0.05, 1, 1))
+	res = s.AdvectT(uniform, vec.Of(0, 0, 0), 0, AdvectLimits{Bounds: tiny, MaxSteps: 100})
+	if res.Reason != StopOutOfBlock {
+		t.Errorf("reason %v, want StopOutOfBlock", res.Reason)
+	}
+}
+
+// TestAdvectTNonFiniteField covers the non-autonomous error exits: a
+// field that goes NaN mid-trajectory must stop with StopError both at
+// the first sample and inside a step.
+func TestAdvectTNonFiniteField(t *testing.T) {
+	evil := TimeEvalFunc(func(p vec.V3, _ float64) vec.V3 {
+		if p.X > 0.5 {
+			return vec.Of(math.NaN(), 0, 0)
+		}
+		return vec.Of(1, 0, 0)
+	})
+	s := NewDoPri5(Options{Tol: 1e-8, HMax: 0.1})
+	res := s.AdvectT(evil, vec.Of(0, 0, 0), 0, AdvectLimits{Bounds: bigBox, MaxSteps: 1000})
+	if res.Reason != StopError {
+		t.Errorf("reason %v, want StopError", res.Reason)
+	}
+
+	s = NewDoPri5(Options{Tol: 1e-8, HMax: 0.1})
+	res = s.AdvectT(evil, vec.Of(1, 0, 0), 0, AdvectLimits{Bounds: bigBox, MaxSteps: 10})
+	if res.Reason != StopError || res.Steps != 0 {
+		t.Errorf("NaN seed: reason %v after %d steps, want immediate StopError", res.Reason, res.Steps)
+	}
+}
+
+// TestAdvectTMinSpeed covers the critical-point exit of the
+// non-autonomous loop.
+func TestAdvectTMinSpeed(t *testing.T) {
+	still := TimeEvalFunc(func(vec.V3, float64) vec.V3 { return vec.Of(1e-15, 0, 0) })
+	s := NewDoPri5(Options{Tol: 1e-8, HMax: 0.1, MinSpeed: 1e-9})
+	res := s.AdvectT(still, vec.Of(0, 0, 0), 0, AdvectLimits{Bounds: bigBox, MaxSteps: 10})
+	if res.Reason != StopCritical {
+		t.Errorf("reason %v, want StopCritical", res.Reason)
+	}
+}

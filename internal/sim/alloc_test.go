@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+// TestSendRecvRoundTripAllocs is the allocation regression gate for the
+// kernel messaging path: a Send→Recv round trip with a pre-boxed payload
+// must run allocation free in steady state — events come from the free
+// list, the inbox ring and runnable queue reuse their arrays, and no
+// per-message closures exist. The whole scenario (kernel construction,
+// two processes, 1000 round trips) is measured and the fixed setup cost
+// amortized; the old closure-per-event kernel spent 4+ allocations per
+// round trip.
+func TestSendRecvRoundTripAllocs(t *testing.T) {
+	const rounds = 1000
+	var payload any = &struct{ x int }{42} // boxed once, outside the measurement
+	scenario := func() {
+		k := New()
+		var a, b *Proc
+		b = k.Spawn("b", func(p *Proc) {
+			for i := 0; i < rounds; i++ {
+				m := p.Recv()
+				p.Send(a, m, 0.001)
+			}
+		})
+		a = k.Spawn("a", func(p *Proc) {
+			for i := 0; i < rounds; i++ {
+				p.Send(b, payload, 0.001)
+				p.Recv()
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Error(err)
+		}
+	}
+	scenario() // warm OS/goroutine state outside the measurement
+	perScenario := testing.AllocsPerRun(3, scenario)
+	if per := perScenario / rounds; per > 0.1 {
+		t.Errorf("Send→Recv round trip allocates %.3f times per round (%.0f per %d-round scenario), want amortized < 0.1",
+			per, perScenario, rounds)
+	}
+}

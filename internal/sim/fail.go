@@ -31,8 +31,9 @@ func (p *Proc) Done() bool { return p.done }
 // handled may carry work (streamlines, a termination token) that must
 // not die with it.
 func (p *Proc) TakeInbox() []any {
-	m := p.inbox
+	m := p.inbox[p.inboxHead:]
 	p.inbox = nil
+	p.inboxHead = 0
 	return m
 }
 
@@ -57,6 +58,10 @@ func (k *Kernel) Fail(p *Proc) {
 	}
 	p.failed = true
 	p.killed = true
+	// A victim killed mid-RecvUntil leaves a deadline timer behind;
+	// cancel it so it neither pins the dead process in the event heap
+	// nor charges it idle time at the virtual deadline.
+	k.cancelTimer(p)
 	// The victim is parked in <-p.resume (every process not currently
 	// executing is); resuming it makes yield panic procKilled, and the
 	// recover in run signals ctl once the stack has unwound.

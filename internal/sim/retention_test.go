@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestInboxResidencyBounded pins the inbox memory behavior: consuming a
+// message must release the kernel's reference to it (the slot is
+// cleared), and draining the inbox must let the backing array be reused
+// instead of re-sliced away — the old `inbox = inbox[1:]` retained every
+// payload ever delivered for the life of the backing array.
+func TestInboxResidencyBounded(t *testing.T) {
+	const bursts = 50
+	const burstLen = 8
+	k := New()
+	var proc *Proc
+	maxCap := 0
+	proc = k.Spawn("rx", func(p *Proc) {
+		for b := 0; b < bursts; b++ {
+			for i := 0; i < burstLen; i++ {
+				p.Recv()
+				// Every consumed slot must be cleared immediately: a
+				// retained payload is exactly the leak this test guards.
+				for j := 0; j < p.inboxHead; j++ {
+					if p.inbox[j] != nil {
+						t.Errorf("burst %d: consumed inbox slot %d still holds a payload", b, j)
+					}
+				}
+			}
+			if c := cap(p.inbox); c > maxCap {
+				maxCap = c
+			}
+		}
+	})
+	k.Spawn("tx", func(p *Proc) {
+		for b := 0; b < bursts; b++ {
+			for i := 0; i < burstLen; i++ {
+				// Distinct payloads so a retained slot is visible.
+				p.Send(proc, fmt.Sprintf("m%d.%d", b, i), float64(b)+float64(i)*0.001)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The backlog never exceeds one burst, so the backing array must not
+	// have grown with the total message count (50×8 = 400 messages).
+	if maxCap > 4*burstLen {
+		t.Fatalf("inbox capacity grew to %d for a backlog of at most %d — unbounded residency", maxCap, burstLen)
+	}
+}
+
+// TestTakeInboxAfterPartialConsume verifies the fault-recovery sweep
+// returns exactly the unread suffix once some messages were consumed
+// through the ring head.
+func TestTakeInboxAfterPartialConsume(t *testing.T) {
+	k := New()
+	victim := k.Spawn("victim", func(p *Proc) {
+		p.Recv() // consume "a", leaving the head mid-array
+		p.Sleep(10)
+	})
+	for i, m := range []string{"a", "b", "c"} {
+		k.Deliver(victim, m, 0.25*float64(i))
+	}
+	k.At(2, func() {
+		k.Fail(victim)
+		got := victim.TakeInbox()
+		if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+			t.Errorf("TakeInbox = %v, want [b c]", got)
+		}
+		if victim.Pending() != 0 {
+			t.Errorf("Pending after TakeInbox = %d, want 0", victim.Pending())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvUntilPollingDoesNotGrowHeap pins the stale-timer fix: a tight
+// RecvUntil polling loop whose deadlines are always cut short by
+// deliveries must not accumulate the dead deadline timers in the event
+// heap (before cancellation, every iteration left one behind until its
+// virtual deadline passed).
+func TestRecvUntilPollingDoesNotGrowHeap(t *testing.T) {
+	const rounds = 500
+	k := New()
+	maxHeap := 0
+	var rx *Proc
+	rx = k.Spawn("rx", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			// Deadline far beyond the delivery: the timer would sit in
+			// the heap ~all run long if it were not cancelled.
+			if _, ok := p.RecvUntil(p.Now() + float64(rounds)); !ok {
+				t.Errorf("round %d: spurious timeout", i)
+				return
+			}
+			if n := len(p.k.events); n > maxHeap {
+				maxHeap = n
+			}
+		}
+	})
+	k.Spawn("tx", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			p.Send(rx, i, 0)
+			p.Sleep(0.5)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxHeap > 8 {
+		t.Fatalf("event heap grew to %d entries under RecvUntil polling, want a small constant", maxHeap)
+	}
+}
+
+// TestRecvUntilTimerCanceledOnFail pins the other half of the stale-timer
+// fix: killing a process that is parked in RecvUntil must cancel its
+// deadline timer, so the dead process is neither pinned in the event heap
+// nor charged phantom idle time when the virtual deadline passes.
+func TestRecvUntilTimerCanceledOnFail(t *testing.T) {
+	k := New()
+	victim := k.Spawn("victim", func(p *Proc) {
+		p.RecvUntil(16) // no message ever comes
+	})
+	k.At(0.25, func() {
+		k.Fail(victim)
+		if n := len(k.events); n != 0 {
+			t.Errorf("event heap holds %d entries after Fail, want 0 (timer canceled)", n)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if idle := victim.IdleTime(); idle != 0 {
+		t.Errorf("killed process accrued %g idle time, want 0", idle)
+	}
+}
+
+// TestInboxCompactionReclaimsConsumedSlots drives pushMsg into its
+// compaction branch: when an append would grow the ring while consumed
+// slots sit at the head, the live tail must slide down instead —
+// preserving order, resetting the head and reusing the backing array.
+func TestInboxCompactionReclaimsConsumedSlots(t *testing.T) {
+	k := New()
+	var got []any
+	p := k.Spawn("consumer", func(p *Proc) {
+		p.Sleep(0.5) // let a1..a4 accumulate (fills the ring exactly)
+		got = append(got, p.Recv(), p.Recv())
+		p.Sleep(0.5) // b1 arrives at 0.75: len==cap with head>0 → compacts
+		for p.Pending() > 0 {
+			got = append(got, p.Recv())
+		}
+	})
+	for i := 0; i < 4; i++ {
+		k.Deliver(p, fmt.Sprintf("a%d", i+1), 0.1*float64(i))
+	}
+	k.Deliver(p, "b1", 0.75)
+	capBefore := 0
+	k.At(0.6, func() { capBefore = cap(p.inbox) })
+	k.At(0.8, func() {
+		if p.inboxHead != 0 {
+			t.Errorf("inboxHead = %d after compacting push, want 0", p.inboxHead)
+		}
+		if c := cap(p.inbox); c != capBefore {
+			t.Errorf("compaction reallocated: cap %d → %d, want the array reused", capBefore, c)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []any{"a1", "a2", "a3", "a4", "b1"}
+	if len(got) != len(want) {
+		t.Fatalf("received %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order broken at %d: %v, want %v", i, got, want)
+		}
+	}
+}

@@ -13,33 +13,124 @@
 // coroutine scheduling), so the simulation is fully deterministic — the
 // same inputs produce the same event order, the same virtual timings and
 // the same results, which the property tests rely on.
+//
+// The kernel is on every simulated operation's path, so its event queue
+// is a concrete-typed hand-rolled heap (no container/heap `any` boxing),
+// the built-in wake sources (Sleep, Deliver, RecvUntil deadlines) are
+// tagged events rather than closures, spent events are recycled through
+// a free list, and an uncontended Sleep advances the clock without
+// touching the event queue or the scheduler goroutine at all.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
 
-// event is a scheduled kernel callback.
+// Event kinds. evCall carries an arbitrary callback (Kernel.At); the
+// rest are the kernel's own wake sources, dispatched without closures.
+const (
+	evCall    = uint8(iota) // run fn
+	evWake    = uint8(iota) // wake p if its token still matches (Sleep)
+	evTimer   = uint8(iota) // RecvUntil deadline for p
+	evDeliver = uint8(iota) // append msg to p's inbox, waking it
+)
+
+// event is a scheduled kernel action, ordered by (at, seq).
 type event struct {
-	at  float64
-	seq int64
-	fn  func()
+	at   float64
+	seq  int64
+	idx  int // heap position, maintained for O(log n) removal
+	kind uint8
+	p    *Proc  // target process (evWake/evTimer/evDeliver)
+	wseq uint64 // wake token (evWake/evTimer)
+	msg  any    // payload (evDeliver)
+	fn   func() // callback (evCall)
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). It is hand rolled
+// (rather than container/heap) so pushes and pops stay monomorphic —
+// no interface boxing per event — and each event knows its position,
+// making timer cancellation O(log n).
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.less(right, left) {
+			child = right
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h.swap(i, child)
+		i = child
+	}
+}
+
+func (h *eventHeap) push(e *event) {
+	e.idx = len(*h)
+	*h = append(*h, e)
+	h.up(e.idx)
+}
+
+func (h *eventHeap) pop() *event {
+	old := *h
+	n := len(old) - 1
+	e := old[0]
+	old.swap(0, n)
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
+	e.idx = -1
+	return e
+}
+
+// remove unlinks e from the heap; e must be queued.
+func (h *eventHeap) remove(e *event) {
+	i := e.idx
+	old := *h
+	n := len(old) - 1
+	old.swap(i, n)
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		(*h).down(i)
+		(*h).up(i)
+	}
+	e.idx = -1
+}
 
 // Kernel owns the virtual clock, the event queue and all processes.
 // Construct with New; drive with Run. A Kernel is single-threaded: no
@@ -50,11 +141,13 @@ type Kernel struct {
 	seq        int64
 	events     eventHeap
 	runnable   []*Proc
+	runHead    int // index of the next runnable entry (consumed prefix is nil)
 	procs      []*Proc
 	ctl        chan struct{}
 	running    bool
 	halted     bool
 	deadLetter func(to *Proc, msg any)
+	free       []*event // recycled events, so steady state schedules allocation free
 }
 
 // New returns an empty kernel at virtual time 0.
@@ -65,13 +158,63 @@ func New() *Kernel {
 // Now returns the current virtual time in seconds.
 func (k *Kernel) Now() float64 { return k.now }
 
-// At schedules fn to run at absolute virtual time t (clamped to now).
-func (k *Kernel) At(t float64, fn func()) {
+// schedule queues an event of the given kind at absolute time t (clamped
+// to now), drawing storage from the free list.
+func (k *Kernel) schedule(t float64, kind uint8, p *Proc, wseq uint64, msg any, fn func()) *event {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	*e = event{at: t, seq: k.seq, idx: -1, kind: kind, p: p, wseq: wseq, msg: msg, fn: fn}
+	k.events.push(e)
+	return e
+}
+
+// recycle clears a spent event's references and returns it to the free
+// list.
+func (k *Kernel) recycle(e *event) {
+	*e = event{idx: -1}
+	k.free = append(k.free, e)
+}
+
+// fire dispatches one popped event.
+func (k *Kernel) fire(e *event) {
+	switch e.kind {
+	case evCall:
+		e.fn()
+	case evWake:
+		k.wake(e.p, e.wseq)
+	case evTimer:
+		p := e.p
+		if p.timer == e {
+			p.timer = nil
+		}
+		// The deadline passed with no delivery: charge the wait as idle
+		// and wake the receiver. Dead processes are skipped — idle time
+		// must not accrue to a process that was killed mid-wait (its
+		// timer is normally cancelled by Fail; this guard keeps the
+		// invariant even for events already popped).
+		if p.waiting && p.wakeSeq == e.wseq && !p.done && !p.killed {
+			p.waiting = false
+			p.idleTotal += k.now - p.idleStart
+			k.wake(p, e.wseq)
+		}
+	case evDeliver:
+		k.deliverNow(e.p, e.msg)
+	}
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (k *Kernel) At(t float64, fn func()) {
+	k.schedule(t, evCall, nil, 0, nil, fn)
 }
 
 // After schedules fn to run d seconds from now.
@@ -87,17 +230,19 @@ type procKilled struct{}
 // goroutine but only ever executes while the kernel has handed it control,
 // so process code needs no locking.
 type Proc struct {
-	k       *Kernel
-	id      int
-	name    string
-	resume  chan struct{}
-	inbox   []any
-	waiting bool // blocked in Recv (so deliveries know to wake it)
-	blocked bool // blocked on any wake source
-	wakeSeq uint64
-	done    bool
-	killed  bool
-	failed  bool // killed mid-run by Fail, not end-of-run cleanup
+	k         *Kernel
+	id        int
+	name      string
+	resume    chan struct{}
+	inbox     []any
+	inboxHead int    // index of the oldest unconsumed message
+	timer     *event // pending RecvUntil deadline, nil when none
+	waiting   bool   // blocked in Recv (so deliveries know to wake it)
+	blocked   bool   // blocked on any wake source
+	wakeSeq   uint64
+	done      bool
+	killed    bool
+	failed    bool // killed mid-run by Fail, not end-of-run cleanup
 
 	watchers []watcher
 
@@ -191,8 +336,22 @@ func (p *Proc) Sleep(d float64) {
 	if d <= 0 {
 		return
 	}
+	k := p.k
+	at := k.now + d
+	// Fast path: no other process is runnable and no event is due before
+	// the wake instant, so handing control to the kernel would only pop
+	// this process's own wake event straight back. Advance the clock
+	// inline instead — same k.now+d arithmetic, no event, no context
+	// switch. Requires a strictly earlier first event to stand down: an
+	// event at the same instant holds an older sequence number and would
+	// run first (and could kill or halt this process).
+	if k.running && !k.halted && k.runHead >= len(k.runnable) &&
+		(len(k.events) == 0 || k.events[0].at > at) {
+		k.now = at
+		return
+	}
 	seq := p.beginBlock()
-	p.k.After(d, func() { p.k.wake(p, seq) })
+	k.schedule(at, evWake, p, seq, nil, nil)
 	p.yield()
 }
 
@@ -204,37 +363,82 @@ func (p *Proc) Send(to *Proc, msg any, delay float64) {
 // Deliver schedules msg to arrive in the inbox of process to after delay
 // seconds. It may be called from process bodies or kernel callbacks.
 func (k *Kernel) Deliver(to *Proc, msg any, delay float64) {
-	k.After(delay, func() {
-		if to.failed {
-			// The destination died while the message was in flight.
-			// Hand it to the dead-letter hook so the recovery layer can
-			// salvage any work it carries; without a hook it is lost,
-			// exactly as on a real machine.
-			if k.deadLetter != nil {
-				k.deadLetter(to, msg)
-			}
-			return
+	k.schedule(k.now+delay, evDeliver, to, 0, msg, nil)
+}
+
+// deliverNow lands an in-flight message: into the dead-letter hook if
+// the destination died in the meantime, into its inbox otherwise,
+// waking a blocked receiver and cancelling its pending deadline timer.
+func (k *Kernel) deliverNow(to *Proc, msg any) {
+	if to.failed {
+		// The destination died while the message was in flight.
+		// Hand it to the dead-letter hook so the recovery layer can
+		// salvage any work it carries; without a hook it is lost,
+		// exactly as on a real machine.
+		if k.deadLetter != nil {
+			k.deadLetter(to, msg)
 		}
-		to.inbox = append(to.inbox, msg)
-		if to.waiting {
-			to.waiting = false
-			to.idleTotal += k.now - to.idleStart
-			k.wake(to, to.wakeSeq)
+		return
+	}
+	to.pushMsg(msg)
+	if to.waiting {
+		to.waiting = false
+		to.idleTotal += k.now - to.idleStart
+		k.cancelTimer(to)
+		k.wake(to, to.wakeSeq)
+	}
+}
+
+// cancelTimer unlinks and recycles p's pending RecvUntil deadline, if
+// any. Cancelling on early delivery (and on Fail) keeps dead timers from
+// accumulating in the event heap for the rest of the virtual deadline —
+// a tight polling loop would otherwise grow the heap monotonically.
+func (k *Kernel) cancelTimer(p *Proc) {
+	if e := p.timer; e != nil {
+		p.timer = nil
+		k.events.remove(e)
+		k.recycle(e)
+	}
+}
+
+// pushMsg appends to the inbox, compacting the consumed prefix before
+// the backing array would otherwise grow.
+func (p *Proc) pushMsg(msg any) {
+	if p.inboxHead > 0 && len(p.inbox) == cap(p.inbox) {
+		n := copy(p.inbox, p.inbox[p.inboxHead:])
+		clearTail := p.inbox[n:]
+		for i := range clearTail {
+			clearTail[i] = nil
 		}
-	})
+		p.inbox = p.inbox[:n]
+		p.inboxHead = 0
+	}
+	p.inbox = append(p.inbox, msg)
+}
+
+// popMsg removes and returns the oldest message; the consumed slot is
+// cleared so the backing array never retains delivered payloads (a long
+// campaign must not hold every message it ever received alive).
+func (p *Proc) popMsg() any {
+	msg := p.inbox[p.inboxHead]
+	p.inbox[p.inboxHead] = nil
+	p.inboxHead++
+	if p.inboxHead == len(p.inbox) {
+		p.inbox = p.inbox[:0]
+		p.inboxHead = 0
+	}
+	return msg
 }
 
 // Recv blocks until a message is available and returns the oldest one.
 func (p *Proc) Recv() any {
-	for len(p.inbox) == 0 {
+	for len(p.inbox) == p.inboxHead {
 		p.waiting = true
 		p.idleStart = p.k.now
 		p.beginBlock()
 		p.yield()
 	}
-	msg := p.inbox[0]
-	p.inbox = p.inbox[1:]
-	return msg
+	return p.popMsg()
 }
 
 // RecvUntil blocks until a message is available or the virtual clock
@@ -245,16 +449,14 @@ func (p *Proc) Recv() any {
 // either way.
 //
 // The wake token machinery guarantees the two wake sources cannot race:
-// a delivery consumes the block first and leaves the deadline timer a
-// stale no-op; a timer that fires first clears the waiting flag so a
-// later delivery simply enqueues. When a delivery and the deadline land
-// on the same virtual instant, event order (delivery scheduled first)
-// decides deterministically.
+// a delivery consumes the block first and cancels the deadline timer; a
+// timer that fires first clears the waiting flag so a later delivery
+// simply enqueues. When a delivery and the deadline land on the same
+// virtual instant, event order (delivery scheduled first) decides
+// deterministically.
 func (p *Proc) RecvUntil(deadline float64) (any, bool) {
-	if len(p.inbox) > 0 {
-		msg := p.inbox[0]
-		p.inbox = p.inbox[1:]
-		return msg, true
+	if len(p.inbox) > p.inboxHead {
+		return p.popMsg(), true
 	}
 	if deadline <= p.k.now {
 		return nil, false
@@ -262,34 +464,24 @@ func (p *Proc) RecvUntil(deadline float64) (any, bool) {
 	p.waiting = true
 	p.idleStart = p.k.now
 	seq := p.beginBlock()
-	p.k.At(deadline, func() {
-		if p.waiting && p.wakeSeq == seq {
-			p.waiting = false
-			p.idleTotal += p.k.now - p.idleStart
-			p.k.wake(p, seq)
-		}
-	})
+	p.timer = p.k.schedule(deadline, evTimer, p, seq, nil, nil)
 	p.yield()
-	if len(p.inbox) == 0 {
+	if len(p.inbox) == p.inboxHead {
 		return nil, false
 	}
-	msg := p.inbox[0]
-	p.inbox = p.inbox[1:]
-	return msg, true
+	return p.popMsg(), true
 }
 
 // TryRecv returns the oldest pending message without blocking.
 func (p *Proc) TryRecv() (any, bool) {
-	if len(p.inbox) == 0 {
+	if len(p.inbox) == p.inboxHead {
 		return nil, false
 	}
-	msg := p.inbox[0]
-	p.inbox = p.inbox[1:]
-	return msg, true
+	return p.popMsg(), true
 }
 
 // Pending returns the number of queued messages without consuming them.
-func (p *Proc) Pending() int { return len(p.inbox) }
+func (p *Proc) Pending() int { return len(p.inbox) - p.inboxHead }
 
 // DeadlockError reports processes that were still blocked when the event
 // queue drained.
@@ -314,9 +506,14 @@ func (k *Kernel) Run() error {
 	defer func() { k.running = false }()
 
 	for !k.halted {
-		if len(k.runnable) > 0 {
-			p := k.runnable[0]
-			k.runnable = k.runnable[1:]
+		if k.runHead < len(k.runnable) {
+			p := k.runnable[k.runHead]
+			k.runnable[k.runHead] = nil
+			k.runHead++
+			if k.runHead == len(k.runnable) {
+				k.runnable = k.runnable[:0]
+				k.runHead = 0
+			}
 			if p.done || p.killed {
 				continue
 			}
@@ -325,11 +522,12 @@ func (k *Kernel) Run() error {
 			continue
 		}
 		if len(k.events) > 0 {
-			e := heap.Pop(&k.events).(*event)
+			e := k.events.pop()
 			if e.at > k.now {
 				k.now = e.at
 			}
-			e.fn()
+			k.fire(e)
+			k.recycle(e)
 			continue
 		}
 		break
@@ -416,6 +614,7 @@ func (r *Resource) TryAcquire() bool {
 func (r *Resource) Release() {
 	for len(r.queue) > 0 {
 		next := r.queue[0]
+		r.queue[0] = resourceWaiter{}
 		r.queue = r.queue[1:]
 		if next.p.done || next.p.killed {
 			continue
@@ -463,13 +662,19 @@ func (e *Event) Wait(p *Proc) {
 }
 
 // Fire marks the event complete and wakes every waiter at the current
-// virtual time. Firing twice is a no-op.
+// virtual time. Firing twice is a no-op. Waiters that died while queued
+// are skipped entirely: waking them is already refused by the token
+// check, and charging them idle time would credit a dead process with
+// waiting it never finished (the idle + busy == run span invariant).
 func (e *Event) Fire() {
 	if e.fired {
 		return
 	}
 	e.fired = true
 	for _, w := range e.waiters {
+		if w.p.done || w.p.killed {
+			continue
+		}
 		w.p.idleTotal += e.k.now - w.p.idleStart
 		e.k.wake(w.p, w.seq)
 	}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// TestAppendAllocFreeWithSpareCapacity is the allocation regression gate
+// for the geometry hot path: extending a streamline whose backing array
+// has room must not allocate.
+func TestAppendAllocFreeWithSpareCapacity(t *testing.T) {
+	sl := New(1, vec.Of(0.5, 0.5, 0.5), 0)
+	pts := make([]vec.V3, 16)
+	for i := range pts {
+		pts[i] = vec.Of(float64(i), 0, 0)
+	}
+	sl.Points = append(make([]vec.V3, 0, 1+len(pts)), sl.Points...)
+	run := func() {
+		sl.Points = sl.Points[:1]
+		sl.Append(pts)
+	}
+	if n := testing.AllocsPerRun(100, run); n > 0 {
+		t.Errorf("Append allocates %.2f times per call with spare capacity, want 0", n)
+	}
+}
+
+// TestAppendDoublesCapacity pins the doubling growth policy: appending
+// one point past capacity must at least double the backing array, so
+// long streamlines do not recopy their whole geometry every few calls.
+func TestAppendDoublesCapacity(t *testing.T) {
+	sl := New(1, vec.V3{}, 0)
+	sl.Points = make([]vec.V3, 1024, 1024)
+	sl.Append([]vec.V3{vec.Of(1, 2, 3)})
+	if got := cap(sl.Points); got < 2048 {
+		t.Errorf("cap after overflow append = %d, want >= 2048 (doubling growth)", got)
+	}
+	if sl.P != vec.Of(1, 2, 3) {
+		t.Errorf("head not moved to appended point: %v", sl.P)
+	}
+}
+
+// TestMarshalSingleAllocation gates the wire-encoding path: Marshal must
+// perform exactly one allocation — the output buffer itself.
+func TestMarshalSingleAllocation(t *testing.T) {
+	sl := New(7, vec.Of(0.1, 0.2, 0.3), 3)
+	for i := 0; i < 100; i++ {
+		sl.Append([]vec.V3{vec.Of(float64(i), 0.5, 0.25)})
+	}
+	run := func() {
+		if buf := sl.Marshal(); len(buf) == 0 {
+			t.Fatal("empty marshal")
+		}
+	}
+	if n := testing.AllocsPerRun(100, run); n > 1 {
+		t.Errorf("Marshal allocates %.2f times per call, want 1 (the output buffer)", n)
+	}
+}

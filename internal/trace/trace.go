@@ -109,10 +109,22 @@ func NewAt(id int, seed vec.V3, block grid.BlockID, release float64) *Streamline
 }
 
 // Append extends the geometry with points (positions after each accepted
-// step) and moves the head to the last one.
+// step) and moves the head to the last one. Growth doubles the backing
+// array: the runtime's append tapers to ~1.25× for large slices, which
+// would make a long streamline recopy its whole geometry every few
+// advance calls; doubling keeps total copying linear in the final size.
 func (s *Streamline) Append(points []vec.V3) {
 	if len(points) == 0 {
 		return
+	}
+	if need := len(s.Points) + len(points); need > cap(s.Points) {
+		newCap := 2 * cap(s.Points)
+		if newCap < need {
+			newCap = need
+		}
+		grown := make([]vec.V3, len(s.Points), newCap)
+		copy(grown, s.Points)
+		s.Points = grown
 	}
 	s.Points = append(s.Points, points...)
 	s.P = points[len(points)-1]
@@ -161,28 +173,26 @@ func (s *Streamline) String() string {
 // Marshal encodes the streamline (with geometry) to a compact binary
 // form, suitable for spilling results to disk or checking wire sizes.
 func (s *Streamline) Marshal() []byte {
-	buf := make([]byte, 0, 8*8+len(s.Points)*24)
-	put := func(f float64) {
-		var tmp [8]byte
-		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
-		buf = append(buf, tmp[:]...)
+	// One exact-size allocation, filled by direct offset writes — the
+	// header is 11 words (see Unmarshal), each point 3.
+	buf := make([]byte, (11+3*len(s.Points))*8)
+	at := 0
+	putU := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[at:], v)
+		at += 8
 	}
-	putInt := func(v int64) {
-		var tmp [8]byte
-		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
-		buf = append(buf, tmp[:]...)
-	}
-	putInt(int64(s.ID))
+	put := func(f float64) { putU(math.Float64bits(f)) }
+	putU(uint64(int64(s.ID)))
 	put(s.Seed.X)
 	put(s.Seed.Y)
 	put(s.Seed.Z)
 	put(s.T)
 	put(s.H)
 	put(s.Release)
-	putInt(int64(s.Steps))
-	putInt(int64(s.Status))
-	putInt(int64(s.Block))
-	putInt(int64(len(s.Points)))
+	putU(uint64(int64(s.Steps)))
+	putU(uint64(int64(s.Status)))
+	putU(uint64(int64(s.Block)))
+	putU(uint64(int64(len(s.Points))))
 	for _, p := range s.Points {
 		put(p.X)
 		put(p.Y)

@@ -81,11 +81,14 @@ func (v V3) MaxComponent() float64 { return math.Max(v.X, math.Max(v.Y, v.Z)) }
 // MinComponent returns the smallest component of v.
 func (v V3) MinComponent() float64 { return math.Min(v.X, math.Min(v.Y, v.Z)) }
 
-// IsFinite reports whether all components are finite numbers.
+// IsFinite reports whether all components are finite numbers. It is
+// called after every field evaluation on the integrator's hot path, so
+// it is written branch free: x−x is exactly +0 for every finite x
+// (including ±0 and subnormals) and NaN for ±Inf and NaN, so the sum of
+// the three residuals is 0 iff all components are finite.
 func (v V3) IsFinite() bool {
-	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
-		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
-		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+	d := (v.X - v.X) + (v.Y - v.Y) + (v.Z - v.Z)
+	return d == d
 }
 
 // String implements fmt.Stringer.
