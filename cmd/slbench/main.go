@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 )
 
@@ -159,6 +160,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fm.Enabled() {
 		c.Faults = fm
 	}
+	// The JSON report carries the percentile block, so -json campaigns
+	// run with the constant-memory observer attached; observation never
+	// changes the metrics (pinned by the golden and campaign tests).
+	c.Observe = *jsonOut
 	if *verbose {
 		c.Log = func(s string) { fmt.Fprintln(stderr, s) }
 	}
@@ -312,6 +317,11 @@ type jsonRow struct {
 	Label   string           `json:"label"`
 	Error   string           `json:"error,omitempty"`
 	Summary *metrics.Summary `json:"summary,omitempty"`
+	// Percentiles is the cell's obs report: p50/p95/p99 digests of stall
+	// durations, I/O-queue waits, message latencies and per-streamline
+	// step counts. Additive to the v1 schema — older trajectory files
+	// simply decode it as nil.
+	Percentiles *obs.Report `json:"percentiles,omitempty"`
 }
 
 // jsonShape is one qualitative claim check (-shapes).
@@ -417,12 +427,13 @@ func writeJSONReport(w io.Writer, c *experiments.Campaign, scale string, figs []
 	}
 	for _, fig := range figs {
 		jf := jsonFigure{ID: fig.ID, Title: fig.Title, Columns: c.FigureColumns(fig)}
-		for _, row := range c.FigureRows(fig) {
-			jr := jsonRow{Label: row.Label}
-			if row.Err != nil {
-				jr.Error = row.Err.Error()
+		for _, k := range c.FigureKeys(fig) {
+			out := c.Run(k) // cached by the batch RunKeys
+			jr := jsonRow{Label: out.Key.Label(), Percentiles: out.Obs}
+			if out.Err != nil {
+				jr.Error = out.Err.Error()
 			} else {
-				s := row.Summary
+				s := out.Summary
 				jr.Summary = &s
 			}
 			jf.Rows = append(jf.Rows, jr)

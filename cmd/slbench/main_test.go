@@ -127,6 +127,21 @@ func TestRunJSONOutput(t *testing.T) {
 		if row.Summary != nil && row.Summary.WallClock <= 0 {
 			t.Errorf("row %q has non-positive wall clock", row.Label)
 		}
+		// -json campaigns observe every cell: the percentile block must
+		// be present and internally consistent on successful rows.
+		if row.Summary != nil {
+			p := row.Percentiles
+			if p == nil {
+				t.Errorf("row %q has no percentile block", row.Label)
+				continue
+			}
+			if p.Events <= 0 || p.Bytes != p.Events*40 {
+				t.Errorf("row %q percentile accounting off: %d events, %d bytes", row.Label, p.Events, p.Bytes)
+			}
+			if p.Steps.Count <= 0 || p.Steps.P50 > p.Steps.P99 {
+				t.Errorf("row %q steps digest malformed: %+v", row.Label, p.Steps)
+			}
+		}
 	}
 	if rep.Host.ElapsedSeconds <= 0 || rep.Host.GoVersion == "" {
 		t.Errorf("host block incomplete: %+v", rep.Host)
@@ -172,6 +187,18 @@ func TestBenchArtifact(t *testing.T) {
 			for _, row := range f.Rows {
 				if (row.Summary == nil) == (row.Error == "") {
 					t.Errorf("%s: figure %d row %q must carry exactly one of summary or error", name, f.ID, row.Label)
+				}
+				// The percentile block is additive: older trajectory
+				// points legitimately lack it, but when present it must
+				// be internally consistent.
+				if p := row.Percentiles; p != nil {
+					if p.Events <= 0 || p.Bytes != p.Events*40 {
+						t.Errorf("%s: figure %d row %q percentile accounting off: %d events, %d bytes",
+							name, f.ID, row.Label, p.Events, p.Bytes)
+					}
+					if row.Summary != nil && (p.Steps.Count <= 0 || p.Steps.Min > p.Steps.Max) {
+						t.Errorf("%s: figure %d row %q steps digest malformed: %+v", name, f.ID, row.Label, p.Steps)
+					}
 				}
 			}
 		}
@@ -383,5 +410,33 @@ func TestRunBadFaultFlags(t *testing.T) {
 	}
 	if !strings.Contains(errw.String(), "unknown fault mode") {
 		t.Errorf("stderr should name the unknown mode: %s", errw.String())
+	}
+}
+
+// TestRunProfiles smoke-tests the -cpuprofile/-memprofile flags: the
+// campaign must run to completion and leave non-empty gzip-compressed
+// pprof files behind. (The profile contents are host-dependent — CPU
+// samples may even be empty on a fast run — so only the container
+// format is asserted, not the samples or their labels.)
+func TestRunProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errw bytes.Buffer
+	args := []string{"-scale", "small", "-figure", "5", "-j", "4", "-cpuprofile", cpu, "-memprofile", mem}
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s is not a gzip-compressed pprof profile (%d bytes)", filepath.Base(path), len(data))
+		}
 	}
 }

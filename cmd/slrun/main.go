@@ -31,6 +31,17 @@
 // streamline bit-identically; static allocation fails with a typed
 // error, which is the experiment's point.
 //
+// With -trace the run records its virtual-time event stream
+// (DESIGN.md §13) and exports it as Chrome trace-event JSON — load the
+// file in Perfetto or chrome://tracing for per-processor Gantt
+// timelines. With -timeline the same events are resampled into a
+// fixed-interval time series (active streamlines, I/O queue depth,
+// resident blocks, busy fractions) written as CSV, or JSON when the
+// path ends in .json; -sample-interval overrides the bin width.
+// Tracing never perturbs the simulation: the metrics are bit-identical
+// with or without it, and the trace itself is byte-identical across
+// repeated runs.
+//
 // Usage examples:
 //
 //	slrun -dataset astro -seeding sparse -alg hybrid -procs 128
@@ -46,6 +57,9 @@
 //	slrun -alg hybrid -inject burst -inject-waves 8     # bursty rake seeding
 //	slrun -alg stealing -faults kill                    # lose proc 0 mid-run
 //	slrun -alg hybrid -faults kill -fault-procs 2       # kill both low ranks
+//	slrun -alg hybrid -trace out.json                   # Perfetto Gantt trace
+//	slrun -alg ondemand -timeline series.csv            # virtual-time series
+//	slrun -alg ondemand -timeline s.json -sample-interval 0.01
 package main
 
 import (
@@ -61,6 +75,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 )
 
@@ -106,6 +121,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultsName  = fs.String("faults", "off", "processor-loss scenario: off or kill (DESIGN.md §11)")
 		faultTime   = fs.Float64("fault-time", 0, "with -faults: virtual second of the kill (0 = scale default)")
 		faultProcs  = fs.Int("fault-procs", 0, "with -faults: how many low ranks die (0 = scale default)")
+		traceOut    = fs.String("trace", "", "write the run's virtual-time event stream as Chrome trace-event JSON to this file (single -procs only)")
+		timelineOut = fs.String("timeline", "", "write the run's fixed-interval time series to this file: CSV, or JSON with a .json suffix (single -procs only)")
+		sampleIvl   = fs.Float64("sample-interval", 0, "with -timeline: sampling bin width in virtual seconds (0 = wall clock / 256)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -230,10 +248,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *sampleIvl != 0 {
+		// An interval without a timeline would be silently ignored.
+		if *timelineOut == "" {
+			fmt.Fprintln(stderr, "slrun: -sample-interval requires -timeline")
+			return 2
+		}
+		if *sampleIvl < 0 {
+			fmt.Fprintf(stderr, "slrun: negative -sample-interval %g\n", *sampleIvl)
+			return 2
+		}
+	}
 	if len(procCounts) > 1 {
+		// The trace and timeline describe one run; a sweep has many.
+		if *traceOut != "" || *timelineOut != "" {
+			fmt.Fprintln(stderr, "slrun: -trace/-timeline require a single -procs count")
+			return 2
+		}
 		return runSweep(sc, *dataset, *seeding, *alg, procCounts, *jobs, *unsteady, pf, inj, fm, steal, stdout, stderr)
 	}
-	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, *unsteady, pf, inj, fm, steal, stdout, stderr)
+	return runSingle(sc, *dataset, *seeding, *alg, procCounts[0], *perProc, *topN, *unsteady, pf, inj, fm, steal, *traceOut, *timelineOut, *sampleIvl, stdout, stderr)
+}
+
+// writeFile creates path and streams fn's output into it, reporting the
+// first error from creation, writing or closing.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // applySteal folds the -steal-* flag overrides into a machine config,
@@ -311,7 +359,7 @@ func runSweep(sc experiments.Scale, dataset, seeding, alg string, procCounts []i
 }
 
 // runSingle executes one configuration and prints the detailed report.
-func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, unsteady bool, pf prefetch.Policy, inj experiments.Injection, fm experiments.FaultMode, steal core.StealParams, stdout, stderr io.Writer) int {
+func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, perProc bool, topN int, unsteady bool, pf prefetch.Policy, inj experiments.Injection, fm experiments.FaultMode, steal core.StealParams, traceOut, timelineOut string, sampleIvl float64, stdout, stderr io.Writer) int {
 	prob, err := experiments.BuildInjectedProblem(experiments.Dataset(dataset), experiments.Seeding(seeding), sc, unsteady, inj)
 	if err != nil {
 		fmt.Fprintln(stderr, "slrun:", err)
@@ -323,6 +371,9 @@ func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, pe
 		Injection: inj, Faults: fm,
 	}, sc)
 	applySteal(&cfg, steal)
+	if traceOut != "" || timelineOut != "" {
+		cfg.Trace = obs.New()
+	}
 	d := prob.Provider.Decomp()
 	workload := "streamlines"
 	blocks := fmt.Sprintf("%d blocks", d.NumBlocks())
@@ -339,6 +390,29 @@ func runSingle(sc experiments.Scale, dataset, seeding, alg string, procs int, pe
 	if err != nil {
 		fmt.Fprintf(stdout, "run failed: %v\n", err)
 		return 1
+	}
+	if traceOut != "" {
+		if err := writeFile(traceOut, func(w io.Writer) error {
+			return cfg.Trace.WriteChromeTrace(w)
+		}); err != nil {
+			fmt.Fprintln(stderr, "slrun:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %d trace events to %s\n", len(cfg.Trace.Events()), traceOut)
+	}
+	if timelineOut != "" {
+		samples := cfg.Trace.Series(sampleIvl)
+		write := obs.WriteSeriesCSV
+		if strings.HasSuffix(timelineOut, ".json") {
+			write = obs.WriteSeriesJSON
+		}
+		if err := writeFile(timelineOut, func(w io.Writer) error {
+			return write(w, samples)
+		}); err != nil {
+			fmt.Fprintln(stderr, "slrun:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %d timeline samples to %s\n", len(samples), timelineOut)
 	}
 	s := res.Summary
 	fmt.Fprintf(stdout, "wall clock          %10.3f s\n", s.WallClock)

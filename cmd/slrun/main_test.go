@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -355,6 +358,111 @@ func TestRunBadFaultFlags(t *testing.T) {
 		var out, errw bytes.Buffer
 		if code := run(args, &out, &errw); code != 2 {
 			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunBadTraceFlags(t *testing.T) {
+	cases := [][]string{
+		{"-trace", "out.json", "-procs", "8,16"},   // trace describes one run
+		{"-timeline", "out.csv", "-procs", "8,16"}, // so does the timeline
+		{"-sample-interval", "0.1"},                // interval without a timeline
+		{"-timeline", "s.csv", "-sample-interval", "-1"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestRunTraceAndTimeline smoke-tests -trace and -timeline end to end:
+// the exported file must be valid Chrome trace-event JSON, the CSV and
+// JSON timelines must carry the documented columns, and a second -trace
+// run of the same configuration must produce a byte-identical file —
+// the CLI-level determinism guarantee.
+func TestRunTraceAndTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation too slow for -short")
+	}
+	dir := t.TempDir()
+	trace1 := filepath.Join(dir, "t1.json")
+	trace2 := filepath.Join(dir, "t2.json")
+	csvPath := filepath.Join(dir, "series.csv")
+	jsonPath := filepath.Join(dir, "series.json")
+
+	base := []string{"-scale", "small", "-dataset", "astro", "-seeding", "sparse", "-alg", "ondemand", "-procs", "4"}
+	for _, extra := range [][]string{
+		{"-trace", trace1, "-timeline", csvPath},
+		{"-trace", trace2, "-timeline", jsonPath, "-sample-interval", "0.001"},
+	} {
+		var out, errw bytes.Buffer
+		if code := run(append(append([]string{}, base...), extra...), &out, &errw); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr: %s", extra, code, errw.String())
+		}
+		if !strings.Contains(out.String(), "trace events") || !strings.Contains(out.String(), "timeline samples") {
+			t.Errorf("report does not mention the artifacts:\n%s", out.String())
+		}
+	}
+
+	t1, err := os.ReadFile(trace1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := os.ReadFile(trace2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("two -trace runs of the same configuration differ byte for byte")
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(t1, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("trace header unexpected: unit %q, %d events", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	phases := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		phases[e.Ph] = true
+	}
+	for _, ph := range []string{"M", "X", "i"} {
+		if !phases[ph] {
+			t.Errorf("trace has no %q events", ph)
+		}
+	}
+
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvData), "t,active,io_queue,resident_blocks,busy_mean,busy_max\n") {
+		t.Errorf("timeline CSV header unexpected:\n%.120s", csvData)
+	}
+	jsonData, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []map[string]any
+	if err := json.Unmarshal(jsonData, &samples); err != nil {
+		t.Fatalf(".json timeline is not valid JSON: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal(".json timeline is empty")
+	}
+	for _, key := range []string{"t", "active", "io_queue", "resident_blocks", "busy_mean", "busy_max"} {
+		if _, ok := samples[0][key]; !ok {
+			t.Errorf(".json timeline sample missing %q: %v", key, samples[0])
 		}
 	}
 }

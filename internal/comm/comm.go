@@ -11,6 +11,7 @@ package comm
 
 import (
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -79,10 +80,17 @@ type Endpoint struct {
 type Fabric struct {
 	net       Network
 	endpoints []*Endpoint
+	tr        *obs.Recorder
 }
 
 // NewFabric creates an empty fabric over net.
 func NewFabric(net Network) *Fabric { return &Fabric{net: net} }
+
+// SetTracer installs a trace recorder: every endpoint then emits comm
+// spans for the messaging overhead it charges plus send/recv marks for
+// delivered traffic. A nil recorder (the default) keeps the messaging
+// hot path free of any tracing cost beyond one branch.
+func (f *Fabric) SetTracer(r *obs.Recorder) { f.tr = r }
 
 // Attach registers proc on the fabric and returns its endpoint.
 func (f *Fabric) Attach(proc *sim.Proc, stats *metrics.ProcStats) *Endpoint {
@@ -124,6 +132,12 @@ func (e *Endpoint) Send(to int, payload Message) {
 			e.stats.CommTime += e.proc.Now() - start
 			e.stats.SendFailed++
 		}
+		if tr := e.fabric.tr; tr != nil {
+			// The posting cost is real even though the message carries no
+			// traffic; the span keeps the sender's lane gap-free. No send
+			// mark: marks mirror the delivered-traffic counters.
+			tr.Span(e.index, obs.SpanComm, start, e.proc.Now(), int64(to), payload.Bytes())
+		}
 		// Still schedule the delivery: it will land on a failed process
 		// and be routed to the kernel's dead-letter hook, which is how
 		// the recovery layer salvages work posted into the void (e.g.
@@ -135,6 +149,10 @@ func (e *Endpoint) Send(to int, payload Message) {
 		e.stats.CommTime += e.proc.Now() - start
 		e.stats.MsgsSent++
 		e.stats.BytesSent += payload.Bytes()
+	}
+	if tr := e.fabric.tr; tr != nil {
+		tr.Span(e.index, obs.SpanComm, start, e.proc.Now(), int64(to), payload.Bytes())
+		tr.Mark(e.index, obs.MarkSend, e.proc.Now(), int64(to), payload.Bytes())
 	}
 	e.proc.Send(dst.proc, Envelope{From: e.index, Payload: payload}, n.LatencySec)
 }
@@ -157,6 +175,10 @@ func (e *Endpoint) recvCharge(env Envelope) {
 		e.stats.CommTime += e.proc.Now() - start
 		e.stats.MsgsRecv++
 		e.stats.BytesRecv += env.Payload.Bytes()
+	}
+	if tr := e.fabric.tr; tr != nil {
+		tr.Span(e.index, obs.SpanComm, start, e.proc.Now(), int64(env.From), env.Payload.Bytes())
+		tr.Mark(e.index, obs.MarkRecv, e.proc.Now(), int64(env.From), env.Payload.Bytes())
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/integrate"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -281,6 +282,14 @@ type Config struct {
 	// processor — and fails with *faults.UnrecoverableError. The empty
 	// plan leaves every run byte-identical to pre-fault builds.
 	Faults faults.Plan
+	// Trace, when non-nil, receives the run's virtual-time event stream
+	// (internal/obs): per-processor activity spans plus block, message,
+	// steal, token and recovery marks. Tracing is purely observational —
+	// geometry, metrics and golden digests are bit-identical with it on
+	// or off (only the TraceEvents/TraceBytes meta-counters differ), and
+	// a nil recorder (the default) costs one branch per hook site. Not a
+	// campaign axis: it never participates in experiments.Key.
+	Trace *obs.Recorder
 }
 
 // Validate reports a descriptive error for malformed configs.
@@ -353,6 +362,26 @@ func Run(p Problem, cfg Config) (*Result, error) {
 	if cfg.DiskServers > 0 {
 		cfg.Disk.Shared = sim.NewResource(r.kernel, cfg.DiskServers)
 	}
+	if cfg.Trace != nil {
+		// Wire the recorder through every layer before the builders copy
+		// cfg: the disk (io/ioqueue spans, cache marks), the fabric
+		// (comm spans, send/recv marks) and the kernel's message-wait
+		// idle hook. The seed release schedule anchors the recorder's
+		// active-streamline series.
+		r.tr = cfg.Trace
+		cfg.Disk.Trace = cfg.Trace
+		r.fabric.SetTracer(cfg.Trace)
+		cfg.Trace.SetNumProcs(cfg.Procs)
+		releases := make([]float64, len(p.Seeds))
+		for i := range releases {
+			releases[i] = p.release(i)
+		}
+		cfg.Trace.SetReleases(releases)
+		tr := cfg.Trace
+		r.kernel.SetIdleHook(func(pr *sim.Proc, start, end float64) {
+			tr.Span(pr.ID(), obs.SpanIdle, start, end, 0, 0)
+		})
+	}
 	r.procs = make([]*sim.Proc, cfg.Procs)
 	r.workers = make([]*worker, cfg.Procs)
 	if cfg.Faults.Enabled() {
@@ -392,6 +421,15 @@ func Run(p Problem, cfg Config) (*Result, error) {
 		return nil, simErr
 	}
 
+	if r.tr != nil {
+		// Fold the trace volume into the metrics as the two meta-counters
+		// (zero whenever tracing is off — the one deliberate exception to
+		// the tracing-on/off bit-identity of the Summary).
+		for i := 0; i < cfg.Procs; i++ {
+			st := r.collect.P(i)
+			st.TraceEvents, st.TraceBytes = r.tr.ProcCount(i)
+		}
+	}
 	res := &Result{
 		Summary: r.collect.Aggregate(),
 		PerProc: r.collect.All(),
@@ -419,6 +457,9 @@ type runState struct {
 	// pf predicts prefetch targets; nil when cfg.Prefetch is off, so
 	// every hook gates on a nil check alone.
 	pf *prefetch.Predictor
+	// tr records trace events; nil when cfg.Trace is unset, so every
+	// emission site gates on a nil check alone.
+	tr *obs.Recorder
 
 	err      error // first fatal in-simulation error (e.g. OOM)
 	finished []*trace.Streamline
@@ -484,6 +525,9 @@ func (r *runState) failed() bool { return r.err != nil }
 func (r *runState) complete(w *worker, sl *trace.Streamline) {
 	w.stats.StreamlinesCompleted++
 	w.noteDeactivated(1)
+	if r.tr != nil {
+		r.tr.Mark(w.end.Index(), obs.MarkComplete, w.proc.Now(), int64(sl.ID), int64(sl.Steps))
+	}
 	if r.cfg.CollectTraces {
 		r.finished = append(r.finished, sl)
 	}
@@ -681,6 +725,11 @@ func (w *worker) stallForRelease(next float64) (env comm.Envelope, got bool) {
 	if !got {
 		w.stats.ReleaseStalls++
 		w.stats.ReleaseStallTime += w.proc.Now() - start
+		if tr := w.run.tr; tr != nil {
+			// The stall interval itself arrives via the kernel idle hook;
+			// the mark attributes it to injection starvation.
+			tr.Mark(w.end.Index(), obs.MarkPark, start, 0, 0)
+		}
 	}
 	return env, got
 }
@@ -764,6 +813,9 @@ func (w *worker) advance(sl *trace.Streamline, ev grid.Evaluator, bounds vec.AAB
 	w.proc.Sleep(cost)
 	w.stats.ComputeTime += w.proc.Now() - start
 	w.stats.Steps += int64(res.Steps)
+	if tr := w.run.tr; tr != nil {
+		tr.Span(w.end.Index(), obs.SpanCompute, start, w.proc.Now(), int64(sl.ID), int64(res.Steps))
+	}
 
 	switch res.Reason {
 	case integrate.StopOutOfBlock:

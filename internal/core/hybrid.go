@@ -8,6 +8,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/faults"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -415,6 +416,9 @@ func (s *slave) runAsMaster(pm msgPromote) {
 	ep := w.end.Index()
 	w.stats.MasterFailovers++
 	w.stats.SeedsAdopted += int64(len(pm.recs))
+	if tr := r.tr; tr != nil {
+		tr.Mark(ep, obs.MarkFailover, w.proc.Now(), int64(len(pm.flock)), int64(len(pm.recs)))
+	}
 	recs := append([]seedRec(nil), pm.recs...)
 	for _, b := range sortedBlocks(s.byBlock) {
 		for _, sl := range s.byBlock[b] {
@@ -540,6 +544,9 @@ func (m *master) releaseDue() bool {
 	for len(m.future) > 0 && m.future[0].release <= now {
 		rec := m.future[0]
 		m.future = m.future[1:]
+		if tr := m.r.tr; tr != nil {
+			tr.Mark(m.w.end.Index(), obs.MarkRelease, now, int64(rec.id), 0)
+		}
 		m.pool[rec.block] = append(m.pool[rec.block], rec)
 		m.poolCount++
 		moved = true
@@ -779,6 +786,9 @@ func (m *master) addRecs(recs []seedRec, fresh bool) {
 	})
 	if fresh {
 		m.w.stats.SeedsAdopted += int64(len(recs))
+		if tr := m.r.tr; tr != nil && len(recs) > 0 {
+			tr.Mark(m.w.end.Index(), obs.MarkAdopt, m.w.proc.Now(), int64(len(recs)), 0)
+		}
 	}
 	m.applyRules(false)
 	m.shedIfSlaveless()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -68,6 +69,9 @@ func (r *runState) onDemandWorker(w *worker, mine []seedRec) {
 				pl.adopt(rec.streamline())
 			}
 			w.stats.SeedsAdopted += int64(len(m.recs))
+			if tr := w.run.tr; tr != nil {
+				tr.Mark(w.end.Index(), obs.MarkAdopt, w.proc.Now(), int64(len(m.recs)), 0)
+			}
 			w.checkMemory("adopted streamlines")
 		case msgAllDone:
 			done = true

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -97,6 +98,9 @@ func (pl *pool) releaseReady() {
 	now := pl.w.proc.Now()
 	for len(pl.parked) > 0 && pl.parked[0].Release <= now {
 		sl := heap.Pop(&pl.parked).(*trace.Streamline)
+		if tr := pl.w.run.tr; tr != nil {
+			tr.Mark(pl.w.end.Index(), obs.MarkRelease, now, int64(sl.ID), 0)
+		}
 		pl.w.noteActivated(1)
 		pl.place(sl)
 	}

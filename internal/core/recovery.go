@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -251,6 +252,9 @@ func (r *runState) failProc(idx int) {
 		return
 	}
 	r.collect.P(idx).ProcsLost++
+	if r.tr != nil {
+		r.tr.Mark(idx, obs.MarkKill, r.kernel.Now(), 0, 0)
+	}
 	envs := r.deadEnvelopes(idx)
 	switch r.cfg.Algorithm {
 	case StaticAlloc:

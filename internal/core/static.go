@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -110,6 +111,9 @@ func (r *runState) staticWorker(w *worker, owner func(grid.BlockID) int, initial
 	releaseDue := func() {
 		now := w.proc.Now()
 		for len(future) > 0 && future[0].Release <= now {
+			if tr := w.run.tr; tr != nil {
+				tr.Mark(w.end.Index(), obs.MarkRelease, now, int64(future[0].ID), 0)
+			}
 			w.noteActivated(1)
 			queue = append(queue, future[0])
 			future = future[1:]

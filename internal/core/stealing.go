@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -228,6 +229,9 @@ func (t *thief) handle(env comm.Envelope) {
 			t.pool.adopt(sl)
 		}
 		t.w.stats.StealHits++
+		if tr := t.r.tr; tr != nil {
+			tr.Mark(t.me, obs.MarkStealHit, t.w.proc.Now(), int64(env.From), int64(len(m.sls)))
+		}
 		t.outstanding = false
 		t.resetProbes()
 		t.w.checkMemory("stolen streamlines")
@@ -257,6 +261,9 @@ func (t *thief) handle(env comm.Envelope) {
 			t.pool.adopt(rec.streamline())
 		}
 		t.w.stats.SeedsAdopted += int64(len(m.recs))
+		if tr := t.r.tr; tr != nil {
+			tr.Mark(t.me, obs.MarkAdopt, t.w.proc.Now(), int64(len(m.recs)), 0)
+		}
 		t.resetProbes()
 		t.w.checkMemory("adopted streamlines")
 	case comm.Death:
@@ -317,6 +324,9 @@ func (t *thief) probe() {
 	t.outstanding = true
 	t.probeVictim = victim
 	t.w.stats.StealAttempts++
+	if tr := t.r.tr; tr != nil {
+		tr.Mark(t.me, obs.MarkStealProbe, t.w.proc.Now(), int64(victim), 0)
+	}
 	t.w.end.Send(victim, msgStealReq{})
 }
 
@@ -420,6 +430,9 @@ func (t *thief) passToken() {
 	}
 	t.holding = false
 	t.w.stats.TokensPassed++
+	if tr := t.r.tr; tr != nil {
+		tr.Mark(t.me, obs.MarkTokenPass, t.w.proc.Now(), int64(next), 0)
+	}
 	t.w.end.Send(next, msgToken{counts: t.counts})
 	t.r.tokenHolder = -1
 }

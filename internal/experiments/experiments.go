@@ -10,7 +10,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 
 	"repro/internal/comm"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/integrate"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/seeds"
 	"repro/internal/store"
@@ -514,6 +517,12 @@ type Outcome struct {
 	Key     Key
 	Summary metrics.Summary
 	Err     error
+	// Obs holds the run's percentile report (stall, I/O-queue,
+	// message-latency and step-count digests) when the campaign ran
+	// with Observe set; nil otherwise. Observation never perturbs the
+	// run, so Summary is bit-identical either way (the TraceEvents/
+	// TraceBytes meta-counters excepted).
+	Obs *obs.Report
 }
 
 // Campaign runs and caches the full evaluation at one scale. A Campaign
@@ -552,6 +561,11 @@ type Campaign struct {
 	// every cell under that processor-loss scenario — the slbench
 	// -faults mode. Explicitly-built Keys are unaffected.
 	Faults FaultMode
+	// Observe attaches a constant-memory obs recorder to every executed
+	// cell and stores its percentile report in Outcome.Obs — the slbench
+	// -json percentile block. Cells are cached by Key alone, so set it
+	// before the first Run.
+	Observe bool
 
 	mu       sync.Mutex
 	results  map[Key]Outcome
@@ -671,11 +685,24 @@ func (c *Campaign) execute(k Key) Outcome {
 	if c.Tune != nil {
 		c.Tune(&cfg)
 	}
-	res, err := core.Run(prob, cfg)
+	if c.Observe {
+		cfg.Trace = obs.NewDigest()
+	}
+	// Label the run for CPU profiling: every sample taken inside this
+	// cell carries its key, so pprof -tagfocus isolates one cell of a
+	// campaign (the slbench -cpuprofile flags).
+	var res *core.Result
+	pprof.Do(context.Background(), pprof.Labels("cell", k.Label()), func(context.Context) {
+		res, err = core.Run(prob, cfg)
+	})
 	if err != nil {
 		out.Err = err
 	} else {
 		out.Summary = res.Summary
+	}
+	if cfg.Trace != nil {
+		rep := cfg.Trace.Report()
+		out.Obs = &rep
 	}
 	return out
 }

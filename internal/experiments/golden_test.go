@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/trace"
 )
@@ -25,10 +26,10 @@ import (
 // digests — that is the regression this test exists to catch.
 var updateGoldens = flag.Bool("update", false, "rewrite the golden geometry digests")
 
-// goldenScale is a trimmed configuration so the 120 runs (3 datasets ×
+// goldenScale is a trimmed configuration so the 144 runs (3 datasets ×
 // {steady, unsteady} × 4 algorithms × (prefetch {off, both} × injection
-// {t0, stagger} + one faulted run)) stay test-suite fast while still
-// crossing blocks, epochs and processor boundaries.
+// {t0, stagger} + one faulted run + one traced run)) stay test-suite
+// fast while still crossing blocks, epochs and processor boundaries.
 func goldenScale() Scale {
 	sc := SmallScale()
 	sc.AstroSeeds = 50
@@ -64,7 +65,7 @@ func goldenScale() Scale {
 // commit.
 func TestGoldenDigests(t *testing.T) {
 	if testing.Short() {
-		t.Skip("120 simulations too slow for -short")
+		t.Skip("144 simulations too slow for -short")
 	}
 	sc := goldenScale()
 	procs := 8
@@ -141,6 +142,29 @@ func TestGoldenDigests(t *testing.T) {
 				}
 				if digest := trace.CanonicalDigest(res.Streamlines); digest != ref {
 					t.Errorf("%s: %s under faults digest %s differs from fault-free %s — recovery changed geometry",
+						key, alg, digest[:16], ref[:16])
+				}
+			}
+			// The tracing dimension: the obs recorder observes virtual
+			// times the simulation already computed and feeds nothing
+			// back, so a traced run must land on the same checked-in
+			// digests as an untraced one — the "tracing never perturbs
+			// the simulation" contract, pinned here against the
+			// UNCHANGED goldens rather than a fresh reference.
+			for _, alg := range core.Algorithms() {
+				cfg := KeyMachineConfig(Key{Dataset: ds, Seeding: Sparse, Alg: alg,
+					Procs: procs, Unsteady: unsteady}, sc)
+				cfg.CollectTraces = true
+				cfg.Trace = obs.NewDigest()
+				res, err := core.Run(probs[InjectT0], cfg)
+				if err != nil {
+					t.Fatalf("%s/%s under tracing: %v", key, alg, err)
+				}
+				if cfg.Trace.Report().Events == 0 {
+					t.Errorf("%s/%s: traced run recorded no events — the dimension is vacuous", key, alg)
+				}
+				if digest := trace.CanonicalDigest(res.Streamlines); digest != ref {
+					t.Errorf("%s: %s under tracing digest %s differs from untraced %s — observation perturbed the run",
 						key, alg, digest[:16], ref[:16])
 				}
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -222,5 +223,56 @@ func TestWorkersDefault(t *testing.T) {
 	c.Workers = 3
 	if c.workers() != 3 {
 		t.Errorf("workers = %d, want 3", c.workers())
+	}
+}
+
+// TestObserveCampaignDeterministic pins the campaign-level tracing
+// contract: an Observe campaign's percentile reports (event-stream
+// hash included) are bit-identical between serial and parallel
+// execution, and observation leaves every Summary bit-identical to an
+// unobserved campaign's except for the TraceEvents/TraceBytes
+// meta-counters.
+func TestObserveCampaignDeterministic(t *testing.T) {
+	sc := tinyScale()
+	plain := NewCampaign(sc)
+	plain.Workers = 1
+	serial := NewCampaign(sc)
+	serial.Workers = 1
+	serial.Observe = true
+	parallel := NewCampaign(sc)
+	parallel.Workers = 8
+	parallel.Observe = true
+
+	keys := serial.DatasetKeys(Astro)
+	plain.RunKeys(keys)
+	serial.RunKeys(keys)
+	parallel.RunKeys(keys)
+
+	for _, k := range keys {
+		a, _ := serial.Cached(k)
+		b, _ := parallel.Cached(k)
+		p, _ := plain.Cached(k)
+		if a.Obs == nil || b.Obs == nil {
+			t.Fatalf("%s: Observe campaign produced no report", k.Label())
+		}
+		if !reflect.DeepEqual(*a.Obs, *b.Obs) {
+			t.Errorf("%s: reports differ between serial and parallel execution\nserial:   %+v\nparallel: %+v",
+				k.Label(), *a.Obs, *b.Obs)
+		}
+		if a.Summary != b.Summary {
+			t.Errorf("%s: observed summaries differ between serial and parallel execution", k.Label())
+		}
+		if p.Obs != nil {
+			t.Errorf("%s: unobserved campaign produced a report", k.Label())
+		}
+		aSum := a.Summary
+		if aSum.TraceEvents != a.Obs.Events || aSum.TraceBytes != a.Obs.Bytes {
+			t.Errorf("%s: meta-counters (%d ev, %d by) disagree with the report (%d ev, %d by)",
+				k.Label(), aSum.TraceEvents, aSum.TraceBytes, a.Obs.Events, a.Obs.Bytes)
+		}
+		aSum.TraceEvents, aSum.TraceBytes = 0, 0
+		if aSum != p.Summary {
+			t.Errorf("%s: observation changed the summary\nobserved: %+v\nplain:    %+v", k.Label(), aSum, p.Summary)
+		}
 	}
 }

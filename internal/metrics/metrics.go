@@ -80,6 +80,14 @@ type ProcStats struct {
 	MasterFailovers int64
 	SendFailed      int64
 
+	// Trace (internal/obs) meta-counters, zero when no recorder is
+	// installed: events this processor emitted into the run's trace and
+	// their accounting size in bytes. These describe the observer, not
+	// the simulation — they are the one deliberate exception to the
+	// tracing-on/off bit-identity of every other column.
+	TraceEvents int64
+	TraceBytes  int64
+
 	// Pathline (unsteady-workload) counters, zero for steady runs:
 	// integration steps taken in time-dependent advection, and epoch
 	// boundaries crossed — each crossing is a block transition that
@@ -182,6 +190,11 @@ type Summary struct {
 	PathlineSteps  int64
 	EpochCrossings int64
 
+	// TraceEvents/TraceBytes aggregate the tracing meta-counters (zero
+	// when no obs.Recorder is installed).
+	TraceEvents int64
+	TraceBytes  int64
+
 	// Imbalance is max processor busy time over mean busy time; 1.0 is a
 	// perfectly balanced run. Busy = compute + I/O + comm.
 	Imbalance float64
@@ -221,6 +234,8 @@ func (c *Collector) Aggregate() Summary {
 		s.SendFailed += p.SendFailed
 		s.PathlineSteps += p.PathlineSteps
 		s.EpochCrossings += p.EpochCrossings
+		s.TraceEvents += p.TraceEvents
+		s.TraceBytes += p.TraceBytes
 		s.ReleaseStalls += p.ReleaseStalls
 		s.ReleaseStallTime += p.ReleaseStallTime
 		if p.ActivePeak > s.ActivePeak {
@@ -276,7 +291,8 @@ func (s Summary) String() string {
 // killed by the fault plan), adopted (streamlines re-seeded from dead
 // peers), reforms (termination tokens regenerated after a holder died),
 // failovers (slave-to-master promotions), sendfail (messages dropped at
-// a dead destination).
+// a dead destination), trace-ev (trace events emitted when an
+// obs.Recorder is installed), trace-by (their accounting bytes).
 func Table(rows []TableRow, cols []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-28s", "run")
@@ -369,6 +385,10 @@ func (r TableRow) format(col string) string {
 		return fmt.Sprintf("%d", s.MasterFailovers)
 	case "sendfail":
 		return fmt.Sprintf("%d", s.SendFailed)
+	case "trace-ev":
+		return fmt.Sprintf("%d", s.TraceEvents)
+	case "trace-by":
+		return fmt.Sprintf("%d", s.TraceBytes)
 	default:
 		return "?"
 	}

@@ -70,8 +70,16 @@ func TestAggregate(t *testing.T) {
 	c.P(0).MasterFailovers = 2
 	c.P(0).SendFailed = 5
 	c.P(2).SendFailed = 1
+	c.P(0).TraceEvents = 100
+	c.P(1).TraceEvents = 50
+	c.P(1).TraceBytes = 50 * 40
+	c.P(2).TraceBytes = 80
 
 	s := c.Aggregate()
+	if s.TraceEvents != 150 || s.TraceBytes != 2080 {
+		t.Errorf("trace meta-counters = %d events, %d bytes, want 150, 2080",
+			s.TraceEvents, s.TraceBytes)
+	}
 	if s.ActivePeak != 30 {
 		t.Errorf("ActivePeak = %d, want the per-processor max 30", s.ActivePeak)
 	}
@@ -217,7 +225,7 @@ func TestTableRendering(t *testing.T) {
 func TestTableAllColumns(t *testing.T) {
 	c := NewCollector(1)
 	c.P(0).EndTime = 1
-	cols := []string{"procs", "wall", "io", "ioq", "hidden", "comm", "idle", "compute", "efficiency", "msgs", "bytes", "loads", "purges", "steps", "done", "peakmem", "imbalance", "steals", "tokens", "prefetch", "pfwaste", "epochs", "psteps", "apeak", "rstalls", "rstall-s"}
+	cols := []string{"procs", "wall", "io", "ioq", "hidden", "comm", "idle", "compute", "efficiency", "msgs", "bytes", "loads", "purges", "steps", "done", "peakmem", "imbalance", "steals", "tokens", "prefetch", "pfwaste", "epochs", "psteps", "apeak", "rstalls", "rstall-s", "trace-ev", "trace-by"}
 	out := Table([]TableRow{{Label: "x", Summary: c.Aggregate()}}, cols)
 	if strings.Contains(out, "?") {
 		t.Errorf("a known column rendered as unknown:\n%s", out)

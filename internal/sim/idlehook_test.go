@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIdleHookCoversMessageWaits checks that the idle hook observes
+// exactly the message-wait intervals the kernel charges as idle time:
+// the hooked intervals for a receiver sum to its IdleTime, and both
+// delivery wake-ups and RecvUntil deadline expiries are reported.
+func TestIdleHookCoversMessageWaits(t *testing.T) {
+	k := New()
+	type span struct{ start, end float64 }
+	byProc := map[*Proc][]span{}
+	k.SetIdleHook(func(p *Proc, start, end float64) {
+		byProc[p] = append(byProc[p], span{start, end})
+	})
+	var recvr *Proc
+	recvr = k.Spawn("recvr", func(p *Proc) {
+		p.Recv() // woken by delivery at t=0.5
+		if _, ok := p.RecvUntil(p.Now() + 0.25); ok {
+			t.Error("RecvUntil should have timed out")
+		}
+	})
+	k.Spawn("sender", func(p *Proc) {
+		p.Send(recvr, "ping", 0.5)
+		p.Sleep(2)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spans := byProc[recvr]
+	if len(spans) != 2 {
+		t.Fatalf("hook fired %d times for receiver, want 2 (delivery + deadline)", len(spans))
+	}
+	var sum float64
+	for _, s := range spans {
+		if s.end <= s.start {
+			t.Fatalf("empty hook span %+v", s)
+		}
+		sum += s.end - s.start
+	}
+	if math.Abs(sum-recvr.IdleTime()) > 1e-12 {
+		t.Fatalf("hooked idle %.6f != IdleTime %.6f", sum, recvr.IdleTime())
+	}
+	if spans[0] != (span{0, 0.5}) {
+		t.Fatalf("delivery wait span = %+v, want {0 0.5}", spans[0])
+	}
+	if spans[1] != (span{0.5, 0.75}) {
+		t.Fatalf("deadline wait span = %+v, want {0.5 0.75}", spans[1])
+	}
+}

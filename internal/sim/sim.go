@@ -147,8 +147,19 @@ type Kernel struct {
 	running    bool
 	halted     bool
 	deadLetter func(to *Proc, msg any)
+	idleHook   func(p *Proc, start, end float64)
 	free       []*event // recycled events, so steady state schedules allocation free
 }
+
+// SetIdleHook installs an observer for completed message-wait idle
+// intervals: it fires when a process blocked in Recv/RecvUntil resumes
+// (delivery or deadline), with the interval [start, end) the kernel just
+// charged to the process's idle total. Resource and event waits are not
+// reported — callers that model I/O over them already observe those
+// intervals directly. The hook must only record; scheduling kernel work
+// from inside it would perturb the simulation it is observing. A nil
+// hook (the default) costs one predicted branch on the delivery path.
+func (k *Kernel) SetIdleHook(fn func(p *Proc, start, end float64)) { k.idleHook = fn }
 
 // New returns an empty kernel at virtual time 0.
 func New() *Kernel {
@@ -205,6 +216,9 @@ func (k *Kernel) fire(e *event) {
 		if p.waiting && p.wakeSeq == e.wseq && !p.done && !p.killed {
 			p.waiting = false
 			p.idleTotal += k.now - p.idleStart
+			if k.idleHook != nil {
+				k.idleHook(p, p.idleStart, k.now)
+			}
 			k.wake(p, e.wseq)
 		}
 	case evDeliver:
@@ -384,6 +398,9 @@ func (k *Kernel) deliverNow(to *Proc, msg any) {
 	if to.waiting {
 		to.waiting = false
 		to.idleTotal += k.now - to.idleStart
+		if k.idleHook != nil {
+			k.idleHook(to, to.idleStart, k.now)
+		}
 		k.cancelTimer(to)
 		k.wake(to, to.wakeSeq)
 	}

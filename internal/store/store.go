@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -26,6 +27,11 @@ type DiskModel struct {
 	// of I/O servers, so aggregate bandwidth is bounded regardless of
 	// processor count.
 	Shared *sim.Resource
+	// Trace, when non-nil, receives io/ioqueue spans for every demand
+	// read and block load/evict/prefetch marks from caches over this
+	// disk. Nil (the default) keeps the read path tracing-free beyond
+	// one branch.
+	Trace *obs.Recorder
 }
 
 // DefaultDisk returns a disk model loosely calibrated to the paper's era:
@@ -58,12 +64,22 @@ func (d DiskModel) Read(p *sim.Proc, bytes int64, stats *metrics.ProcStats) {
 		// reader is granted the server a dead processor can no longer
 		// use.
 		defer d.Shared.Release()
+		acquired := p.Now()
 		if stats != nil {
-			stats.IOQueueTime += p.Now() - start
+			stats.IOQueueTime += acquired - start
+		}
+		if d.Trace != nil {
+			d.Trace.Span(p.ID(), obs.SpanIOQueue, start, acquired, bytes, 0)
 		}
 		p.Sleep(d.ReadTime(bytes))
+		if d.Trace != nil {
+			d.Trace.Span(p.ID(), obs.SpanIO, acquired, p.Now(), bytes, 0)
+		}
 	} else {
 		p.Sleep(d.ReadTime(bytes))
+		if d.Trace != nil {
+			d.Trace.Span(p.ID(), obs.SpanIO, start, p.Now(), bytes, 0)
+		}
 	}
 	if stats != nil {
 		stats.IOTime += p.Now() - start
@@ -229,6 +245,11 @@ func (c *Cache) Get(id grid.BlockID) grid.Evaluator {
 		if c.stats != nil {
 			c.stats.IOTime += c.proc.Now() - start
 		}
+		if c.disk.Trace != nil {
+			// The residual wait for an in-flight prefetch is demand I/O.
+			c.disk.Trace.Span(c.proc.ID(), obs.SpanIO, start, c.proc.Now(),
+				c.provider.Decomp().BlockBytes(), 0)
+		}
 		// Count a hit only if the completion's install survived: a
 		// completion-time eviction (all-pinned overflow) already counted
 		// the read as wasted, and the loop will repeat it synchronously —
@@ -247,6 +268,9 @@ func (c *Cache) Get(id grid.BlockID) grid.Evaluator {
 	c.disk.Read(c.proc, c.provider.Decomp().BlockBytes(), c.stats)
 	if c.stats != nil {
 		c.stats.BlocksLoaded++
+	}
+	if c.disk.Trace != nil {
+		c.disk.Trace.Mark(c.proc.ID(), obs.MarkBlockLoad, c.proc.Now(), int64(id), 0)
 	}
 	e := &entry{id: id, eval: c.provider.Block(id)}
 	c.entries[id] = e
@@ -287,6 +311,9 @@ func (c *Cache) Prefetch(id grid.BlockID) bool {
 		if c.stats != nil {
 			c.stats.BlocksLoaded++
 		}
+		if c.disk.Trace != nil {
+			c.disk.Trace.Mark(c.proc.ID(), obs.MarkBlockLoad, k.Now(), int64(id), 0)
+		}
 		e := &entry{id: id, eval: c.provider.Block(id)}
 		c.entries[id] = e
 		c.pushFront(e)
@@ -300,6 +327,9 @@ func (c *Cache) Prefetch(id grid.BlockID) bool {
 	c.inflight[id] = fl
 	if c.stats != nil {
 		c.stats.PrefetchIssued++
+	}
+	if c.disk.Trace != nil {
+		c.disk.Trace.Mark(c.proc.ID(), obs.MarkPrefetch, k.Now(), int64(id), 0)
 	}
 	return true
 }
@@ -362,6 +392,9 @@ func (c *Cache) evictOver() {
 		}
 		if c.stats != nil {
 			c.stats.BlocksPurged++
+		}
+		if c.disk.Trace != nil {
+			c.disk.Trace.Mark(c.proc.ID(), obs.MarkBlockEvict, c.proc.Now(), int64(victim.id), 0)
 		}
 	}
 }
