@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -291,6 +292,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 // changes so downstream consumers (BENCH_*.json checks) can discriminate.
 const benchSchema = "slbench/v1"
 
+// minCompareElapsed is the shortest wall-clock duration the throughput
+// smoke trusts, on either side of the ratio: a nanosecond. Zero,
+// negative and denormal elapsed values (a hand-edited or truncated
+// trajectory file can carry any float) would overflow the steps/s
+// division into Inf and land it in the report.
+const minCompareElapsed = 1e-9
+
 // jsonReport is the machine-readable campaign result the -json flag
 // emits. Simulated metrics are deterministic for a given scale; only
 // the host block varies between runs.
@@ -378,8 +386,14 @@ func compareTrajectory(stderr io.Writer, c *experiments.Campaign, scale string, 
 			}
 		}
 	}
-	if base.Host.ElapsedSeconds <= 0 {
-		return fmt.Errorf("compare: schema drift: %s host block has no elapsed time", path)
+	if baseSteps <= 0 {
+		return fmt.Errorf("compare: schema drift: %s has no successful rows — no throughput to anchor, regenerate the trajectory", path)
+	}
+	// Guard the denominators: a zero, near-zero (sub-microsecond) or
+	// non-finite baseline elapsed would turn the rate arithmetic below
+	// into Inf/NaN percentages in the report.
+	if !(base.Host.ElapsedSeconds > minCompareElapsed) || math.IsInf(base.Host.ElapsedSeconds, 0) {
+		return fmt.Errorf("compare: schema drift: %s host block has no usable elapsed time (%v s)", path, base.Host.ElapsedSeconds)
 	}
 
 	var curSteps int64
@@ -390,8 +404,12 @@ func compareTrajectory(stderr io.Writer, c *experiments.Campaign, scale string, 
 			}
 		}
 	}
-	if curSteps == 0 || elapsed.Seconds() <= 0 {
-		return nil // nothing ran (e.g. an empty selection); no throughput to smoke
+	if curSteps == 0 || elapsed.Seconds() <= minCompareElapsed {
+		// Nothing ran (an empty or all-error selection), or it finished
+		// faster than the clock can meaningfully resolve — tiny -scale
+		// small CI cells do. Either way there is no throughput to smoke,
+		// and dividing by a near-zero elapsed would fabricate one.
+		return nil
 	}
 	baseRate := float64(baseSteps) / base.Host.ElapsedSeconds
 	curRate := float64(curSteps) / elapsed.Seconds()

@@ -7,6 +7,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func TestRunBadFlags(t *testing.T) {
@@ -306,6 +310,80 @@ func TestRunCompareTrajectory(t *testing.T) {
 	errw.Reset()
 	if code := run([]string{"-scale", "small", "-figure", "5", "-compare", filepath.Join(dir, "absent.json")}, &out, &errw); code != 1 {
 		t.Errorf("compare vs missing file = %d, want 1", code)
+	}
+
+	// An all-error baseline (every cell failed when the trajectory was
+	// recorded) anchors no throughput — hard failure, not a division by
+	// its zero step count.
+	hollow := rep
+	hollow.Figures = []jsonFigure{{ID: 5, Title: "t", Rows: []jsonRow{{Label: "x", Error: "oom"}}}}
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-scale", "small", "-figure", "5", "-compare", writeRep("hollow.json", hollow)}, &out, &errw); code != 1 {
+		t.Errorf("compare vs all-error baseline = %d, want 1; stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "no successful rows") {
+		t.Errorf("stderr should name the hollow baseline:\n%s", errw.String())
+	}
+}
+
+// TestCompareTrajectoryGuards pins the denominator guards directly (no
+// campaign run needed): baselines with zero, negative, denormal or
+// missing elapsed time and baselines with no successful rows are hard
+// errors, and an empty current selection is silently skipped — never an
+// Inf-producing division.
+func TestCompareTrajectoryGuards(t *testing.T) {
+	c := experiments.NewCampaign(experiments.SmallScale())
+	dir := t.TempDir()
+	write := func(name string, r jsonReport) string {
+		t.Helper()
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	healthy := jsonReport{
+		Schema: benchSchema,
+		Scale:  "small",
+		Figures: []jsonFigure{{ID: 5, Title: "t", Rows: []jsonRow{
+			{Label: "x", Summary: &metrics.Summary{Steps: 1000}},
+		}}},
+		Host: jsonHost{ElapsedSeconds: 1},
+	}
+	var errw bytes.Buffer
+
+	// A healthy baseline against an empty current selection: nothing to
+	// smoke, no error, no warning.
+	if err := compareTrajectory(&errw, c, "small", nil, write("ok.json", healthy), time.Second); err != nil {
+		t.Fatalf("empty selection: %v", err)
+	}
+	// Same with a zero current elapsed — the other denominator.
+	if err := compareTrajectory(&errw, c, "small", nil, write("ok2.json", healthy), 0); err != nil {
+		t.Fatalf("zero current elapsed: %v", err)
+	}
+	if errw.Len() != 0 {
+		t.Fatalf("guards should be silent, got: %s", errw.String())
+	}
+
+	for name, mutate := range map[string]func(*jsonReport){
+		"zero elapsed":     func(r *jsonReport) { r.Host.ElapsedSeconds = 0 },
+		"negative elapsed": func(r *jsonReport) { r.Host.ElapsedSeconds = -3 },
+		"denormal elapsed": func(r *jsonReport) { r.Host.ElapsedSeconds = 1e-310 },
+		"all-error rows": func(r *jsonReport) {
+			r.Figures = []jsonFigure{{ID: 5, Title: "t", Rows: []jsonRow{{Label: "x", Error: "oom"}}}}
+		},
+	} {
+		bad := healthy
+		mutate(&bad)
+		err := compareTrajectory(&errw, c, "small", nil, write("bad.json", bad), time.Second)
+		if err == nil {
+			t.Errorf("%s: compareTrajectory accepted the baseline", name)
+		}
 	}
 }
 

@@ -2,7 +2,8 @@
 // seeded outside the proto-neutron star trace the magnetic field inside
 // the supernova shock front; this example runs both the sparse and dense
 // seedings with all four algorithms, reproducing the Figure 5–8 story at
-// example scale, and renders the Figure 1 analogue to supernova.ppm.
+// example scale, and renders the Figure 1 analogue to
+// examples/supernova/out/supernova.ppm.
 //
 //	go run ./examples/supernova
 package main
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -57,7 +59,12 @@ func main() {
 	img := render.Streamlines(res.Streamlines, prob.Provider.Decomp().Domain, render.Options{
 		Width: 900, Height: 700, Palette: render.Plasma,
 	})
-	f, err := os.Create("supernova.ppm")
+	outDir := filepath.Join("examples", "supernova", "out")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	outPath := filepath.Join(outDir, "supernova.ppm")
+	f, err := os.Create(outPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,5 +72,5 @@ func main() {
 	if err := img.WritePPM(f); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nwrote supernova.ppm (%d field lines around the core)\n", len(res.Streamlines))
+	fmt.Printf("\nwrote %s (%d field lines around the core)\n", outPath, len(res.Streamlines))
 }

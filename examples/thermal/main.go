@@ -8,7 +8,7 @@
 //     streamline parallelism wins and I/O hides behind computation.
 //
 // It then renders the Figure 4 analogue (inlet stream surface) to
-// thermal.ppm.
+// examples/thermal/out/thermal.ppm.
 //
 //	go run ./examples/thermal
 package main
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -76,7 +77,12 @@ func main() {
 		Palette: render.CoolWarm,
 		ColorBy: "z",
 	})
-	f, err := os.Create("thermal.ppm")
+	outDir := filepath.Join("examples", "thermal", "out")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	outPath := filepath.Join(outDir, "thermal.ppm")
+	f, err := os.Create(outPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,5 +90,5 @@ func main() {
 	if err := img.WritePPM(f); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote thermal.ppm (%d surface streamlines)\n", len(res.Streamlines))
+	fmt.Printf("wrote %s (%d surface streamlines)\n", outPath, len(res.Streamlines))
 }

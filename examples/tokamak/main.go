@@ -3,7 +3,7 @@
 // traversing the same ring of blocks — the property that makes the LRU
 // working set fit in memory for dense seeds (Section 5.2). This example
 // demonstrates that effect directly by sweeping the cache size, then
-// renders the Figure 2 analogue to tokamak.ppm.
+// renders the Figure 2 analogue to examples/tokamak/out/tokamak.ppm.
 //
 //	go run ./examples/tokamak
 package main
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -64,7 +65,12 @@ func main() {
 		},
 		Palette: render.Plasma,
 	})
-	f, err := os.Create("tokamak.ppm")
+	outDir := filepath.Join("examples", "tokamak", "out")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	outPath := filepath.Join(outDir, "tokamak.ppm")
+	f, err := os.Create(outPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,5 +78,5 @@ func main() {
 	if err := img.WritePPM(f); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote tokamak.ppm (%d winding field lines)\n", len(res.Streamlines))
+	fmt.Printf("wrote %s (%d winding field lines)\n", outPath, len(res.Streamlines))
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -121,8 +122,12 @@ func main() {
 	// orange/gray in the hybrid's. slviz -gantt renders the same
 	// picture for any dataset.
 	fmt.Println("\nrendering the two timelines:")
+	outDir := filepath.Join("examples", "tracing", "out")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
 	for _, alg := range []core.Algorithm{core.LoadOnDemand, core.HybridMS} {
-		name := fmt.Sprintf("tracing_%s.ppm", alg)
+		name := filepath.Join(outDir, fmt.Sprintf("tracing_%s.ppm", alg))
 		img := render.Gantt(recorders[alg].Events(), procs, 1024, 256)
 		f, err := os.Create(name)
 		if err != nil {

@@ -1,8 +1,10 @@
 // Package doclint enforces the repository's documentation contract: every
 // exported symbol under internal/... and cmd/... carries a doc comment,
-// and every relative markdown link resolves. It is a revive-style comment
-// lint without the external dependency: the checks run as ordinary tests
-// (and therefore in CI), so documentation regressions fail the build.
+// every relative markdown link resolves, and CHANGES.md stays one
+// strictly-increasing `- PR <n>:` entry per line. It is a revive-style
+// comment lint without the external dependency: the checks run as
+// ordinary tests (and therefore in CI), so documentation regressions
+// fail the build.
 package doclint
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -247,6 +250,53 @@ func CheckMarkdownLinks(files ...string) ([]Finding, error) {
 				}
 			}
 		}
+	}
+	return findings, nil
+}
+
+// changelogEntry matches one CHANGES.md entry line and captures its PR
+// number.
+var changelogEntry = regexp.MustCompile(`^- PR (\d+): \S`)
+
+// CheckChangelogOrder enforces the CHANGES.md layout contract: every
+// non-blank line is one `- PR <n>: ...` entry and the PR numbers are
+// strictly increasing, so the file reads as the repository's timeline
+// and an entry appended under the wrong number (or re-shuffled by a
+// merge) fails the build.
+func CheckChangelogOrder(path string) ([]Finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	last, lastLine := 0, 0
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		m := changelogEntry.FindStringSubmatch(line)
+		if m == nil {
+			findings = append(findings, Finding{
+				Pos:  fmt.Sprintf("%s:%d", path, i+1),
+				What: `changelog line is not a "- PR <n>: ..." entry`,
+			})
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n < 1 {
+			findings = append(findings, Finding{
+				Pos:  fmt.Sprintf("%s:%d", path, i+1),
+				What: fmt.Sprintf("bad PR number %q", m[1]),
+			})
+			continue
+		}
+		if n <= last {
+			findings = append(findings, Finding{
+				Pos:  fmt.Sprintf("%s:%d", path, i+1),
+				What: fmt.Sprintf("changelog out of order: PR %d follows PR %d (line %d) — entries must be strictly increasing", n, last, lastLine),
+			})
+		}
+		last, lastLine = n, i+1
 	}
 	return findings, nil
 }

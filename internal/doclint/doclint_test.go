@@ -72,6 +72,61 @@ func TestMarkdownLinks(t *testing.T) {
 	}
 }
 
+// TestChangelogOrder pins the CHANGES.md layout: one `- PR <n>: ...`
+// entry per line, PR numbers strictly increasing (the file was shipped
+// out of order once — 7, 5, 4, 3, 2, 1, 6, 8, 9 — and this keeps it
+// from regressing).
+func TestChangelogOrder(t *testing.T) {
+	findings, err := CheckChangelogOrder(filepath.Join(repoRoot(t), "CHANGES.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestChangelogCheckerCatchesDisorder proves the changelog lint bites:
+// out-of-order, duplicate and malformed entries are findings; blank
+// lines are not.
+func TestChangelogCheckerCatchesDisorder(t *testing.T) {
+	dir := t.TempDir()
+	write := func(content string) string {
+		t.Helper()
+		path := filepath.Join(dir, "CHANGES.md")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name    string
+		content string
+		want    int
+	}{
+		{"sorted", "- PR 1: a\n- PR 2: b\n\n- PR 10: c\n", 0},
+		{"out of order", "- PR 2: b\n- PR 1: a\n", 1},
+		{"duplicate", "- PR 3: a\n- PR 3: b\n", 1},
+		{"not an entry", "- PR 1: a\nsome prose\n", 1},
+		{"missing text", "- PR 1: \n", 1},
+		{"lexicographic trap", "- PR 9: a\n- PR 10: b\n", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			findings, err := CheckChangelogOrder(write(tc.content))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(findings) != tc.want {
+				t.Fatalf("got %d findings, want %d: %v", len(findings), tc.want, findings)
+			}
+		})
+	}
+	if _, err := CheckChangelogOrder(filepath.Join(dir, "absent.md")); err == nil {
+		t.Error("missing file should be an error, not a pass")
+	}
+}
+
 // TestCheckerCatchesViolations proves the lint actually bites, using a
 // synthetic package with documented and undocumented symbols.
 func TestCheckerCatchesViolations(t *testing.T) {

@@ -15,9 +15,16 @@
 //  3. Every Key field must be consumed by the execution path
 //     ((*Campaign).execute, KeyMachineConfig or (*Campaign).problem):
 //     an axis that only widens the cache identity is a bug.
-//  4. In command packages (package main), a Key composite literal must
-//     set every field, in the literal or by assignment in the same
-//     function — the "forgot to wire the new flag" class.
+//  4. In every package that imports experiments (command packages and
+//     service packages alike), a Key composite literal must set every
+//     field, in the literal or by assignment in the same function —
+//     the "forgot to wire the new flag/request field" class.
+//  5. The canonical wire codec (DESIGN.md §14) is held to the same
+//     standard as the label and the enumerator: (Key).CanonicalJSON —
+//     the cache-address encoder — must read every field (an unread
+//     axis would alias distinct cells onto one digest), and ParseKey —
+//     the request-decode path — must set every field (an unset axis
+//     arriving from the network would silently run as its zero value).
 package invlint
 
 import (
@@ -30,16 +37,20 @@ import (
 // experimentsPkgPath is the import path of the campaign package.
 const experimentsPkgPath = "repro/internal/experiments"
 
-// keyContract names the experiments functions bound by rules 1–3 and
-// which rule they serve.
+// keyContract names the experiments functions bound by rules 1–3 and 5
+// and which rule they serve.
 var keyContract = struct {
 	label      string   // must read every field
 	enumerator string   // must set every field
 	consumers  []string // together must read every field
+	encoder    string   // must read every field (canonical wire encoding)
+	decoder    string   // must set every field (canonical wire decoding)
 }{
 	label:      "Label",
 	enumerator: "DatasetKeys",
 	consumers:  []string{"execute", "KeyMachineConfig", "problem"},
+	encoder:    "CanonicalJSON",
+	decoder:    "ParseKey",
 }
 
 // KeyAxis proves every experiments.Key axis is rendered, enumerated,
@@ -53,8 +64,12 @@ var KeyAxis = &Analyzer{
 func runKeyAxis(pass *Pass) error {
 	if pass.Pkg.Path() == experimentsPkgPath {
 		runKeyAxisContract(pass)
-	}
-	if pass.Pkg.Name() == "main" {
+	} else {
+		// Rule 4 binds every consumer of the Key type — command
+		// packages wiring flags and service packages wiring requests
+		// alike. (Inside experiments itself partial literals are
+		// idiomatic: the enumerator and tests build keys around the
+		// campaign's own axis fields.)
 		runKeyAxisLiterals(pass)
 	}
 	return nil
@@ -135,6 +150,22 @@ func runKeyAxisContract(pass *Pass) {
 			"Key.%s is not set by %s: campaign sweeps can never enumerate the %s axis")
 	} else {
 		pass.Reportf(pass.Files[0].Pos(), "keyaxis contract: no %s enumerator found", keyContract.enumerator)
+	}
+
+	if fd, ok := decls[keyContract.encoder]; ok {
+		reads := keyFieldReads(pass, fd.Body, named)
+		reportMissing(pass, fd, fields, reads,
+			"Key.%s is not encoded by %s: two cells differing only in %s would share one cache address")
+	} else {
+		pass.Reportf(pass.Files[0].Pos(), "keyaxis contract: no %s encoder found", keyContract.encoder)
+	}
+
+	if fd, ok := decls[keyContract.decoder]; ok {
+		sets := keyFieldWrites(pass, fd.Body, named)
+		reportMissing(pass, fd, fields, sets,
+			"Key.%s is not decoded by %s: the axis silently zeroes on every request arriving from the wire")
+	} else {
+		pass.Reportf(pass.Files[0].Pos(), "keyaxis contract: no %s decoder found", keyContract.decoder)
 	}
 
 	consumed := make(map[string]bool)
@@ -225,8 +256,8 @@ func keyFieldWrites(pass *Pass, body ast.Node, key *types.Named) map[string]bool
 	return writes
 }
 
-// runKeyAxisLiterals checks rule 4 in command packages: every Key
-// composite literal must account for every axis.
+// runKeyAxisLiterals checks rule 4 outside the experiments package:
+// every Key composite literal must account for every axis.
 func runKeyAxisLiterals(pass *Pass) {
 	named, st := keyStruct(pass)
 	if named == nil {

@@ -38,3 +38,15 @@ func (c *Campaign) DatasetKeys(ds string, procs []int) []Key { // want "Key\.Inj
 func (c *Campaign) execute(k Key) int {
 	return len(k.Dataset) * k.Procs
 }
+
+// CanonicalJSON encodes the cache address — but forgets the Inject
+// axis, so two different cells share one digest.
+func (k Key) CanonicalJSON() []byte { // want "Key\.Inject is not encoded by CanonicalJSON"
+	return []byte(k.Dataset + "|" + strconv.Itoa(k.Procs))
+}
+
+// ParseKey decodes a request — but never sets Inject, so the axis
+// silently zeroes on every request arriving from the wire.
+func ParseKey(data []byte) Key { // want "Key\.Inject is not decoded by ParseKey"
+	return Key{Dataset: string(data), Procs: 1}
+}

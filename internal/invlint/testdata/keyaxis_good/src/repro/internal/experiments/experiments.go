@@ -39,3 +39,29 @@ func (c *Campaign) execute(k Key) int {
 	}
 	return n
 }
+
+// CanonicalJSON encodes every axis.
+func (k Key) CanonicalJSON() []byte {
+	return []byte(k.Dataset + "|" + strconv.Itoa(k.Procs) + "|" + strconv.FormatBool(k.Inject))
+}
+
+// ParseKey decodes every axis.
+func ParseKey(data []byte) Key {
+	parts := make([]string, 3)
+	copy(parts, splitPipe(string(data)))
+	procs, _ := strconv.Atoi(parts[1])
+	return Key{Dataset: parts[0], Procs: procs, Inject: parts[2] == "true"}
+}
+
+// splitPipe splits on '|' without importing strings.
+func splitPipe(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '|' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}

@@ -1,0 +1,64 @@
+// Canonical wire encoding of run summaries.
+//
+// A Summary is a pure function of its experiments.Key (the runs are
+// deterministic simulations), which is what lets the campaign service
+// cache summaries on disk content-addressed by key digest and promise
+// byte-identical responses across restarts (DESIGN.md §14). That
+// promise needs a byte-stable encoding, pinned here:
+//
+//   - encoding/json over the Summary struct itself: field order is the
+//     declaration order, names are the Go field names (matching the
+//     BENCH_*.json trajectory artifacts), and float64 values use Go's
+//     shortest round-trip formatting, so decode∘encode is the identity
+//     on the bytes as well as the values.
+//   - SummaryCodecVersion names the layout. Any change to Summary's
+//     field set or order changes the bytes; callers persisting
+//     canonical summaries fold the version into their addresses, so
+//     bumping it invalidates stale entries instead of mixing layouts.
+//
+// TestSummaryCanonicalPinned holds the exact bytes; if it fails, bump
+// SummaryCodecVersion rather than regenerate the golden.
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// SummaryCodecVersion names the canonical Summary wire layout. Bump it
+// whenever a Summary field is added, removed, renamed or reordered —
+// every one of those changes the canonical bytes.
+const SummaryCodecVersion = "summary/v1"
+
+// CanonicalJSON renders the summary's canonical wire encoding: one JSON
+// object, fields in Summary declaration order, floats in shortest
+// round-trip form. The encoding is byte-stable — equal summaries encode
+// identically, and ParseSummary(enc) re-encodes to exactly enc — which
+// is what makes a disk-cached summary byte-identical to a freshly
+// computed one. An error is only possible for non-finite floats, which
+// a well-formed Summary never contains.
+func (s Summary) CanonicalJSON() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: summary has no canonical encoding: %w", err)
+	}
+	return b, nil
+}
+
+// ParseSummary decodes a canonical summary encoding. The decode is
+// strict — unknown fields and trailing data are errors — so a cache
+// entry written under a different (newer or older) Summary layout is
+// detected instead of silently dropping columns.
+func ParseSummary(data []byte) (Summary, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Summary
+	if err := dec.Decode(&s); err != nil {
+		return Summary{}, fmt.Errorf("metrics: bad summary encoding: %w", err)
+	}
+	if dec.More() {
+		return Summary{}, fmt.Errorf("metrics: bad summary encoding: trailing data after the summary object")
+	}
+	return s, nil
+}

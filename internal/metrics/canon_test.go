@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleSummary exercises every value class the codec must round-trip:
+// negative-exponent floats, integers, and zero-valued optional counters.
+func sampleSummary() Summary {
+	return Summary{
+		NumProcs:             8,
+		WallClock:            1.2345678901234567,
+		TotalIO:              0.1,
+		TotalIOQueue:         0.030000000000000002,
+		TotalComm:            3e-9,
+		TotalCompute:         7.25,
+		TotalIdle:            0,
+		BlocksLoaded:         1689,
+		BlocksPurged:         41,
+		BlockEfficiency:      0.9757252812315,
+		MsgsSent:             12345,
+		BytesSent:            1 << 30,
+		Steps:                1137235840,
+		StreamlinesCompleted: 22000,
+		PeakMemoryBytes:      356 << 20,
+		IOHiddenTime:         0.5,
+		ActivePeak:           321,
+		ReleaseStallTime:     1e-15,
+		Imbalance:            1.07,
+	}
+}
+
+// TestSummaryCanonicalRoundTrip asserts decode∘encode is the identity
+// on both values and bytes — the property the persistent result cache's
+// byte-identical-across-restart promise rests on.
+func TestSummaryCanonicalRoundTrip(t *testing.T) {
+	s := sampleSummary()
+	enc, err := s.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSummary(enc)
+	if err != nil {
+		t.Fatalf("ParseSummary rejected its own encoding: %v", err)
+	}
+	if got != s {
+		t.Fatalf("decode∘encode is not the identity:\n got  %+v\n want %+v", got, s)
+	}
+	re, err := got.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != string(enc) {
+		t.Fatalf("re-encode drifted:\n got  %s\n want %s", re, enc)
+	}
+}
+
+// TestSummaryCanonicalPinned pins a prefix of the canonical bytes. If
+// this fails the wire layout changed — bump SummaryCodecVersion (which
+// invalidates persistent caches) instead of updating the golden
+// silently.
+func TestSummaryCanonicalPinned(t *testing.T) {
+	enc, err := Summary{NumProcs: 2, WallClock: 1.5, Steps: 10}.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"NumProcs":2,"WallClock":1.5,"TotalIO":0,"TotalIOQueue":0,"TotalComm":0,"TotalCompute":0,"TotalIdle":0,`
+	if !strings.HasPrefix(string(enc), want) {
+		t.Errorf("canonical summary layout drifted:\n got  %.120s...\n want prefix %s", enc, want)
+	}
+	if !strings.Contains(string(enc), `"Steps":10`) {
+		t.Errorf("canonical summary lost the Steps field: %s", enc)
+	}
+}
+
+// TestParseSummaryStrict proves layout skew is detected, not silently
+// tolerated: a field the current Summary does not declare is an error.
+func TestParseSummaryStrict(t *testing.T) {
+	if _, err := ParseSummary([]byte(`{"NumProcs":2,"FutureColumn":1}`)); err == nil {
+		t.Error("ParseSummary accepted an unknown field")
+	}
+	if _, err := ParseSummary([]byte(`{"NumProcs":2}{}`)); err == nil {
+		t.Error("ParseSummary accepted trailing data")
+	}
+	if _, err := ParseSummary([]byte(`not json`)); err == nil {
+		t.Error("ParseSummary accepted garbage")
+	}
+}

@@ -250,13 +250,13 @@ func TestSeries(t *testing.T) {
 	r := New()
 	r.SetNumProcs(2)
 	r.SetReleases([]float64{0, 1})
-	r.Span(0, SpanCompute, 0, 2, 1, 50)  // proc 0 busy [0,2)
-	r.Span(1, SpanIOQueue, 0, 1, 64, 0)  // queued [0,1)
-	r.Span(1, SpanIO, 1, 2, 64, 0)       // transfer [1,2)
-	r.Mark(1, MarkBlockLoad, 2, 9, 0)    // resident 1 from t=2
-	r.Span(0, SpanIdle, 2, 4, 0, 0)      // idle must NOT count as busy
-	r.Mark(0, MarkComplete, 3, 1, 50)    // active drops at t=3
-	r.Mark(1, MarkBlockEvict, 4, 9, 0)   // resident back to 0 at t=4
+	r.Span(0, SpanCompute, 0, 2, 1, 50) // proc 0 busy [0,2)
+	r.Span(1, SpanIOQueue, 0, 1, 64, 0) // queued [0,1)
+	r.Span(1, SpanIO, 1, 2, 64, 0)      // transfer [1,2)
+	r.Mark(1, MarkBlockLoad, 2, 9, 0)   // resident 1 from t=2
+	r.Span(0, SpanIdle, 2, 4, 0, 0)     // idle must NOT count as busy
+	r.Mark(0, MarkComplete, 3, 1, 50)   // active drops at t=3
+	r.Mark(1, MarkBlockEvict, 4, 9, 0)  // resident back to 0 at t=4
 	s := r.Series(1.0)
 	if len(s) != 5 {
 		t.Fatalf("got %d samples, want 5 (t=0..4)", len(s))

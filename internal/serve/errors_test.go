@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// TestSaturatedErrorMessage pins the admission-failure text clients see
+// in 429 bodies.
+func TestSaturatedErrorMessage(t *testing.T) {
+	e := &SaturatedError{Tenant: "acme", Limit: 8}
+	msg := e.Error()
+	for _, want := range []string{`"acme"`, "8", "retry"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("SaturatedError message %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestOpenStoreRejectsBadRoots covers the store-construction failures:
+// an empty root and a root that cannot be a directory.
+func TestOpenStoreRejectsBadRoots(t *testing.T) {
+	if _, err := OpenStore(""); err == nil {
+		t.Error("OpenStore(\"\") should fail")
+	}
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(filepath.Join(file, "sub")); err == nil {
+		t.Error("OpenStore under a regular file should fail")
+	}
+}
+
+// TestStoreIOFailures drives the non-ENOENT error paths: a directory
+// squatting on an entry's address makes Get report an I/O error (not a
+// miss) and makes Put's rename fail; a file squatting on the version
+// directory makes Put's MkdirAll fail.
+func TestStoreIOFailures(t *testing.T) {
+	sc := Scope{Scale: "tiny"}
+	k, err := experiments.ParseKey([]byte(cellBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := Entry{Error: "deterministic failure"}
+
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	squat := st.path(sc, k.Digest())
+	if err := os.MkdirAll(squat, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(sc, k); err == nil || ok {
+		t.Errorf("Get with a directory at the entry address: ok=%v err=%v, want an I/O error", ok, err)
+	}
+	if err := st.Put(sc, k, entry); err == nil {
+		t.Error("Put renaming over a directory should fail")
+	}
+
+	dir2 := t.TempDir()
+	st2, err := OpenStore(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, EntryVersion), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Put(sc, k, entry); err == nil {
+		t.Error("Put under a file-squatted version dir should fail")
+	}
+}
+
+// TestNewConfigValidation covers server assembly: scale resolution by
+// name, the unknown-scale refusal, and a cache root that cannot open.
+func TestNewConfigValidation(t *testing.T) {
+	if _, err := New(Config{ScaleName: "no-such-scale"}); err == nil {
+		t.Error("New with an unknown scale name should fail")
+	}
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{ScaleName: "small", CacheDir: filepath.Join(file, "sub")}); err == nil {
+		t.Error("New with an unopenable cache dir should fail")
+	}
+	s, err := New(Config{ScaleName: "small"})
+	if err != nil {
+		t.Fatalf("New by scale name: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	if s.CacheLen(false) != 0 || s.CacheLen(true) != 0 {
+		t.Error("CacheLen without a disk store should be 0")
+	}
+}
+
+// TestCorruptCacheFallsBackToCompute plants a directory at the cell's
+// cache address so both the read and the write-back fail, and checks the
+// request still succeeds (fresh computation) while the failures are
+// logged — corruption costs a recompute, never a wrong or failed answer.
+func TestCorruptCacheFallsBackToCompute(t *testing.T) {
+	var mu sync.Mutex
+	var logged []string
+	s := newTestServer(t, func(c *Config) {
+		c.CacheDir = t.TempDir()
+		c.Log = func(msg string) {
+			mu.Lock()
+			logged = append(logged, msg)
+			mu.Unlock()
+		}
+	})
+	k, err := experiments.ParseKey([]byte(cellBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	squat := s.store.path(Scope{Scale: "tiny"}, k.Digest())
+	if err := os.MkdirAll(squat, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := decodeResponse(t, post(s, http.MethodPost, "/v1/cell", "", cellBody))
+	r := resp.Rows[0]
+	if r.Cached || r.Source != "computed" || r.Error != "" {
+		t.Fatalf("squatted cache should force a fresh computation, got cached=%v source=%q err=%q", r.Cached, r.Source, r.Error)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var sawRead, sawWrite bool
+	for _, msg := range logged {
+		sawRead = sawRead || strings.Contains(msg, "cache read")
+		sawWrite = sawWrite || strings.Contains(msg, "cache write")
+	}
+	if !sawRead || !sawWrite {
+		t.Errorf("cache failures not logged (read=%v write=%v): %q", sawRead, sawWrite, logged)
+	}
+}

@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// tinyScale is a deliberately minuscule campaign scale so service tests
+// compute real cells in milliseconds.
+func tinyScale() experiments.Scale {
+	sc := experiments.SmallScale()
+	sc.Name = "tiny"
+	sc.BlocksPerAxis = 2
+	sc.CellsPerAxis = 8
+	sc.AstroSeeds = 24
+	sc.FusionSeeds = 16
+	sc.ThermalSparseGrid = 2
+	sc.ThermalDenseSeeds = 40
+	sc.MaxSteps = 60
+	sc.ShortSteps = 30
+	sc.ProcCounts = []int{2, 4}
+	sc.CacheBlocks = 4
+	return sc
+}
+
+// newTestServer builds a tiny-scale server; mutate adjusts the config
+// before assembly. The server is drained at test cleanup.
+func newTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	sc := tinyScale()
+	cfg := Config{ScaleName: "tiny", Scale: &sc, Workers: 4, TenantLimit: 32}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s
+}
+
+const cellBody = `{"dataset":"astro","seeding":"sparse","alg":"ondemand","procs":2}`
+
+// post performs one request against the server's handler.
+func post(s *Server, method, target, tenant, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, target, strings.NewReader(body))
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+// decodeResponse parses a 200 body.
+func decodeResponse(t *testing.T, w *httptest.ResponseRecorder) Response {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	var resp Response
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode response: %v\nbody: %s", err, w.Body.String())
+	}
+	if resp.Schema != Schema {
+		t.Fatalf("schema %q, want %q", resp.Schema, Schema)
+	}
+	return resp
+}
+
+func TestServeCellComputesThenServesFromDisk(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.CacheDir = t.TempDir() })
+
+	first := decodeResponse(t, post(s, http.MethodPost, "/v1/cell", "", cellBody))
+	if len(first.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(first.Rows))
+	}
+	r0 := first.Rows[0]
+	if r0.Cached || r0.Source != "computed" {
+		t.Fatalf("first hit cached=%v source=%q, want fresh computation", r0.Cached, r0.Source)
+	}
+	if r0.Error != "" {
+		t.Fatalf("cell failed: %s", r0.Error)
+	}
+	if _, err := metrics.ParseSummary(r0.Summary); err != nil {
+		t.Fatalf("summary is not canonical: %v", err)
+	}
+	if s.CacheLen(false) != 1 {
+		t.Fatalf("disk cache has %d entries, want 1", s.CacheLen(false))
+	}
+
+	second := decodeResponse(t, post(s, http.MethodPost, "/v1/cell", "", cellBody))
+	r1 := second.Rows[0]
+	if !r1.Cached || r1.Source != "disk" {
+		t.Fatalf("second hit cached=%v source=%q, want disk", r1.Cached, r1.Source)
+	}
+	if !bytes.Equal(r0.Summary, r1.Summary) {
+		t.Fatalf("cached summary differs from fresh:\n fresh %s\ncached %s", r0.Summary, r1.Summary)
+	}
+	if r0.Digest != r1.Digest {
+		t.Fatalf("digest changed: %s vs %s", r0.Digest, r1.Digest)
+	}
+}
+
+// TestConcurrentIdenticalRequestsComputeOnce is the singleflight pin:
+// N racing identical requests must run the simulation exactly once.
+// Run with -race.
+func TestConcurrentIdenticalRequestsComputeOnce(t *testing.T) {
+	var computes atomic.Int64
+	s := newTestServer(t, func(c *Config) {
+		c.Tune = func(*core.Config) { computes.Add(1) }
+	})
+
+	const n = 8
+	var wg sync.WaitGroup
+	rows := make([]Row, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := decodeResponse(t, post(s, http.MethodPost, "/v1/cell", "", cellBody))
+			rows[i] = resp.Rows[0]
+		}(i)
+	}
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d racing requests ran the simulation %d times, want 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(rows[i].Summary, rows[0].Summary) {
+			t.Fatalf("request %d got different summary bytes", i)
+		}
+	}
+}
+
+// TestTenantsProgressUnderSaturatedPool starves the pool down to one
+// worker and checks every tenant's batch completes. Run with -race.
+func TestTenantsProgressUnderSaturatedPool(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Workers = 1; c.TenantLimit = 8 })
+
+	tenants := []string{"alpha", "beta", "gamma"}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(tenants))
+	for ti, tenant := range tenants {
+		wg.Add(1)
+		go func(ti int, tenant string) {
+			defer wg.Done()
+			// Distinct cells per tenant so every batch needs real pool time.
+			body := fmt.Sprintf(`{"cells":[`+
+				`{"dataset":"astro","seeding":"sparse","alg":"ondemand","procs":%d},`+
+				`{"dataset":"astro","seeding":"sparse","alg":"stealing","procs":%d}]}`,
+				2+ti, 2+ti)
+			w := post(s, http.MethodPost, "/v1/cells", tenant, body)
+			if w.Code != http.StatusOK {
+				errs <- fmt.Errorf("tenant %s: status %d: %s", tenant, w.Code, w.Body.String())
+				return
+			}
+			var resp Response
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				errs <- fmt.Errorf("tenant %s: %v", tenant, err)
+				return
+			}
+			if len(resp.Rows) != 2 {
+				errs <- fmt.Errorf("tenant %s: %d rows", tenant, len(resp.Rows))
+				return
+			}
+			for _, r := range resp.Rows {
+				if r.Error != "" {
+					errs <- fmt.Errorf("tenant %s: cell %s failed: %s", tenant, r.Label, r.Error)
+					return
+				}
+			}
+			errs <- nil
+		}(ti, tenant)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestCacheSurvivesRestart is the persistence pin: a second server
+// process (simulated by a second Server over the same directory) serves
+// the identical summary bytes from disk.
+func TestCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	sc := tinyScale()
+	cfg := Config{ScaleName: "tiny", Scale: &sc, Workers: 2, TenantLimit: 8, CacheDir: dir}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New s1: %v", err)
+	}
+	fresh := decodeResponse(t, post(s1, http.MethodPost, "/v1/cell", "", cellBody))
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("drain s1: %v", err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New s2: %v", err)
+	}
+	defer s2.Drain(context.Background())
+	reloaded := decodeResponse(t, post(s2, http.MethodPost, "/v1/cell", "", cellBody))
+
+	fr, rr := fresh.Rows[0], reloaded.Rows[0]
+	if !rr.Cached || rr.Source != "disk" {
+		t.Fatalf("restarted server answered cached=%v source=%q, want disk", rr.Cached, rr.Source)
+	}
+	if !bytes.Equal(fr.Summary, rr.Summary) {
+		t.Fatalf("reloaded summary is not byte-identical:\n fresh    %s\n reloaded %s", fr.Summary, rr.Summary)
+	}
+	if fr.Digest != rr.Digest || fr.Label != rr.Label {
+		t.Fatalf("row identity drifted across restart: %+v vs %+v", fr, rr)
+	}
+}
+
+func TestObservationIsASeparateCachePopulation(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.CacheDir = t.TempDir() })
+
+	plain := decodeResponse(t, post(s, http.MethodPost, "/v1/cell", "", cellBody)).Rows[0]
+	if len(plain.Percentiles) != 0 {
+		t.Fatalf("unobserved row carries percentiles: %s", plain.Percentiles)
+	}
+	obs := decodeResponse(t, post(s, http.MethodPost, "/v1/cell?observe=1", "", cellBody)).Rows[0]
+	if len(obs.Percentiles) == 0 {
+		t.Fatal("observed row has no percentiles")
+	}
+	if obs.Digest != plain.Digest {
+		t.Fatalf("observation changed the cell identity: %s vs %s", obs.Digest, plain.Digest)
+	}
+	if s.CacheLen(false) != 1 || s.CacheLen(true) != 1 {
+		t.Fatalf("cache populations: unobserved=%d observed=%d, want 1 and 1", s.CacheLen(false), s.CacheLen(true))
+	}
+}
+
+func TestBatchAliasSpellingsCollapse(t *testing.T) {
+	s := newTestServer(t, nil)
+	// The same cell twice: canonical spelling and alias spellings of the
+	// zero axes ("t0" injection, "off" prefetch).
+	body := `{"cells":[` + cellBody + `,` +
+		`{"dataset":"astro","seeding":"sparse","alg":"ondemand","procs":2,"injection":"t0","prefetch":"off"}]}`
+	resp := decodeResponse(t, post(s, http.MethodPost, "/v1/cells", "", body))
+	if len(resp.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(resp.Rows))
+	}
+	if resp.Rows[0].Digest != resp.Rows[1].Digest {
+		t.Fatalf("alias spelling got its own cache address: %s vs %s", resp.Rows[0].Digest, resp.Rows[1].Digest)
+	}
+	if !bytes.Equal(resp.Rows[0].Summary, resp.Rows[1].Summary) {
+		t.Fatal("alias spelling got different summary bytes")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	s := newTestServer(t, nil)
+	cases := []struct {
+		name   string
+		method string
+		target string
+		body   string
+		want   int
+	}{
+		{"method", http.MethodGet, "/v1/cell", cellBody, http.StatusMethodNotAllowed},
+		{"empty body", http.MethodPost, "/v1/cell", "", http.StatusBadRequest},
+		{"not json", http.MethodPost, "/v1/cell", "procs=8", http.StatusBadRequest},
+		{"unknown field", http.MethodPost, "/v1/cell", `{"dataset":"astro","seeding":"sparse","alg":"ondemand","procs":2,"speed":"ludicrous"}`, http.StatusBadRequest},
+		{"unknown dataset", http.MethodPost, "/v1/cell", `{"dataset":"galaxy","seeding":"sparse","alg":"ondemand","procs":2}`, http.StatusBadRequest},
+		{"version skew", http.MethodPost, "/v1/cell", `{"v":"key/v9","dataset":"astro","seeding":"sparse","alg":"ondemand","procs":2}`, http.StatusBadRequest},
+		{"trailing data", http.MethodPost, "/v1/cell", cellBody + `{"again":true}`, http.StatusBadRequest},
+		{"batch no cells", http.MethodPost, "/v1/cells", `{"cells":[]}`, http.StatusBadRequest},
+		{"batch bad envelope", http.MethodPost, "/v1/cells", `{"cells":[` + cellBody + `],"mode":"fast"}`, http.StatusBadRequest},
+		{"batch bad cell", http.MethodPost, "/v1/cells", `{"cells":[{"dataset":"astro"}]}`, http.StatusBadRequest},
+		{"health ok", http.MethodGet, "/healthz", "", http.StatusOK},
+		{"health method", http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := post(s, tc.method, tc.target, "", tc.body)
+			if w.Code != tc.want {
+				t.Fatalf("status %d, want %d; body %s", w.Code, tc.want, w.Body.String())
+			}
+			if w.Code != http.StatusOK {
+				var eb errorBody
+				if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+					t.Fatalf("error body is not the JSON envelope: %s", w.Body.String())
+				}
+			}
+		})
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	s := newTestServer(t, nil)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	w := post(s, http.MethodPost, "/v1/cell", "", cellBody)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d after drain, want 503", w.Code)
+	}
+}
+
+// TestTimeoutWarmsCacheAnyway pins the 504 contract: the request times
+// out but the computation continues and lands in the cache for the
+// retry.
+func TestTimeoutWarmsCacheAnyway(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.CacheDir = t.TempDir()
+		c.Timeout = time.Nanosecond
+	})
+	w := post(s, http.MethodPost, "/v1/cell", "", cellBody)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504; body %s", w.Code, w.Body.String())
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for s.CacheLen(false) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed-out computation never reached the cache")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,210 @@
+// The persistent content-addressed result cache.
+//
+// Every campaign cell is a deterministic function of its
+// experiments.Key, so a cell's outcome can be cached forever under the
+// key's content address (the SHA-256 digest of its canonical JSON
+// encoding, DESIGN.md §14). The store is a plain directory tree —
+//
+//	<root>/<EntryVersion>/<scope>/<digest[:2]>/<digest>.json
+//
+// — with one JSON Entry per cell, written atomically (temp file +
+// rename) so a crashed or concurrent writer can never leave a torn
+// entry behind. Scope separates cache populations that are NOT
+// byte-comparable even for equal keys: the scale (different problem
+// sizes) and whether the campaign ran with the observation recorder
+// attached (observation is non-perturbing except for the documented
+// TraceEvents/TraceBytes meta-counters, which do land in the Summary).
+//
+// Reads are paranoid: an entry that fails to parse, carries the wrong
+// version or scope, or whose embedded key does not digest to its own
+// address is treated as a cache miss, never served. Corruption can cost
+// a recompute; it can never serve the wrong cell.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// EntryVersion names the on-disk cache entry layout. It must change
+// whenever the entry schema, the key codec (experiments.KeyCodecVersion)
+// or the summary codec (metrics.SummaryCodecVersion) changes; because it
+// is a path component, a bump atomically orphans — rather than corrupts
+// — every entry written under the old rules.
+const EntryVersion = "cell.v1"
+
+// Scope names one cache population: entries are only byte-comparable
+// within a (scale, observed) pair.
+type Scope struct {
+	// Scale is the campaign scale name ("small", "default", "paper").
+	// The scale shapes every problem, so identical keys at different
+	// scales are different cells.
+	Scale string
+	// Observed marks populations computed with the obs recorder
+	// attached: their summaries carry the TraceEvents/TraceBytes
+	// meta-counters and so differ bytewise from unobserved ones.
+	Observed bool
+}
+
+// dir renders the scope's path component.
+func (sc Scope) dir() string {
+	if sc.Observed {
+		return sc.Scale + "+obs"
+	}
+	return sc.Scale
+}
+
+// Entry is one cached cell outcome. Exactly one of Summary and Error is
+// set, mirroring experiments.Outcome: deterministic failures (the
+// static-allocation OOM, static's typed fault refusal) are results too,
+// and caching them makes repeat failures as free as repeat successes.
+type Entry struct {
+	// V is EntryVersion at write time.
+	V string `json:"v"`
+	// Scale and Observed echo the scope for self-description and are
+	// verified on read.
+	Scale    string `json:"scale"`
+	Observed bool   `json:"observed,omitempty"`
+	// Key is the cell's canonical key encoding — the preimage of the
+	// entry's address, re-verified on read.
+	Key json.RawMessage `json:"key"`
+	// Summary is the canonical metrics.Summary encoding
+	// (metrics.CanonicalJSON). Responses splice these bytes verbatim,
+	// which is what makes a cache hit byte-identical to the fresh
+	// computation.
+	Summary json.RawMessage `json:"summary,omitempty"`
+	// Percentiles is the cell's obs.Report block, present only in
+	// observed scopes.
+	Percentiles json.RawMessage `json:"percentiles,omitempty"`
+	// Error is the deterministic failure text for cells that cannot
+	// complete (e.g. the paper's Figure 13 OOM).
+	Error string `json:"error,omitempty"`
+}
+
+// valid reports whether the entry is well-formed for scope sc and
+// addressed by digest.
+func (e *Entry) valid(sc Scope, digest string) bool {
+	if e.V != EntryVersion || e.Scale != sc.Scale || e.Observed != sc.Observed {
+		return false
+	}
+	if (len(e.Summary) == 0) == (e.Error == "") {
+		return false // exactly one of summary/error
+	}
+	k, err := experiments.ParseKey(e.Key)
+	if err != nil || k.Digest() != digest {
+		return false
+	}
+	if len(e.Summary) > 0 {
+		if _, err := metrics.ParseSummary(e.Summary); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Store is the on-disk cache. The zero value is unusable; OpenStore
+// validates the root. A Store is safe for concurrent use: writes are
+// atomic renames and reads verify what they find.
+type Store struct {
+	root string
+}
+
+// OpenStore opens (creating if needed) a cache rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: open cache: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// path maps an address to its entry file.
+func (st *Store) path(sc Scope, digest string) string {
+	return filepath.Join(st.root, EntryVersion, sc.dir(), digest[:2], digest+".json")
+}
+
+// Get looks up the cached outcome of k in scope sc. Missing, torn,
+// stale-versioned and tampered entries all report a miss; the only
+// error condition is an I/O failure other than non-existence.
+func (st *Store) Get(sc Scope, k experiments.Key) (Entry, bool, error) {
+	digest := k.Digest()
+	data, err := os.ReadFile(st.path(sc, digest))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Entry{}, false, nil
+		}
+		return Entry{}, false, fmt.Errorf("serve: cache read: %w", err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Entry{}, false, nil // torn or foreign file: a miss, not a failure
+	}
+	if !e.valid(sc, digest) {
+		return Entry{}, false, nil
+	}
+	return e, true, nil
+}
+
+// Put persists the outcome of k in scope sc. The entry's V, Scale,
+// Observed and Key fields are filled in by Put; callers supply only the
+// payload (Summary or Error, plus Percentiles in observed scopes).
+// The write is atomic: concurrent Puts of the same (deterministic)
+// outcome are harmless last-writer-wins renames.
+func (st *Store) Put(sc Scope, k experiments.Key, e Entry) error {
+	e.V = EntryVersion
+	e.Scale = sc.Scale
+	e.Observed = sc.Observed
+	e.Key = k.CanonicalJSON()
+	digest := k.Digest()
+	if !e.valid(sc, digest) {
+		return fmt.Errorf("serve: refusing to cache malformed entry for %s (need exactly one of summary/error)", k.Label())
+	}
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("serve: cache encode: %w", err)
+	}
+	path := st.path(sc, digest)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+digest+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	return nil
+}
+
+// Len counts the entries cached under scope sc — a diagnostic for tests
+// and the stats endpoint, not a hot path.
+func (st *Store) Len(sc Scope) int {
+	n := 0
+	root := filepath.Join(st.root, EntryVersion, sc.dir())
+	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") {
+			n++
+		}
+		return nil
+	})
+	return n
+}
